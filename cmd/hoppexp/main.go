@@ -1,0 +1,95 @@
+// Command hoppexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hoppexp -list                 # show every experiment ID
+//	hoppexp -exp fig9             # regenerate one table/figure
+//	hoppexp -exp all              # regenerate everything (minutes)
+//	hoppexp -exp fig9 -quick      # ~4x smaller workloads
+//	hoppexp -exp fig9 -seed 42    # different randomness
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"hopp"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment ID (breakdown, table2..table5, fig1..fig22) or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "shrink workloads ~4x")
+		seed     = flag.Int64("seed", 1, "randomness seed")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (output order preserved)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (use -exp <id>):")
+		for _, e := range hopp.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := hopp.ExperimentOptions{Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range hopp.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if !*parallel {
+		for _, id := range ids {
+			start := time.Now()
+			if err := hopp.RunExperiment(id, opts, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hoppexp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+		}
+		return
+	}
+
+	// Parallel mode: experiments are independent and deterministic, so
+	// they run concurrently; output is buffered and printed in order.
+	type result struct {
+		out bytes.Buffer
+		err error
+		dur time.Duration
+	}
+	results := make([]result, len(ids))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i].err = hopp.RunExperiment(id, opts, &results[i].out)
+			results[i].dur = time.Since(start)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "hoppexp: %s: %v\n", id, results[i].err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(results[i].out.Bytes())
+		fmt.Printf("[%s finished in %.1fs]\n\n", id, results[i].dur.Seconds())
+	}
+}

@@ -1,0 +1,150 @@
+// Command hoppsim runs one workload under one remote-memory system and
+// prints the §VI-A metrics.
+//
+// Usage:
+//
+//	hoppsim -workload omp-kmeans -system hopp -frac 0.5
+//	hoppsim -workload npb-mg -system fastswap -frac 0.25 -seed 9
+//	hoppsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hopp"
+)
+
+// workloads maps CLI names to generators at the standard evaluation
+// scale.
+func workloads() map[string]func() hopp.Workload {
+	w := hopp.Workloads
+	return map[string]func() hopp.Workload{
+		"sequential":   func() hopp.Workload { return w.Sequential(4096, 3) },
+		"intertwined":  func() hopp.Workload { return w.Intertwined(2048, 0.05) },
+		"ladder":       func() hopp.Workload { return w.Ladder(2048, 3) },
+		"ripple":       func() hopp.Workload { return w.Ripple(2048, 3) },
+		"addup":        func() hopp.Workload { return w.AddUp(2, 2048) },
+		"omp-kmeans":   func() hopp.Workload { return w.OMPKMeans(3072, 3) },
+		"quicksort":    func() hopp.Workload { return w.Quicksort(3072) },
+		"hpl":          func() hopp.Workload { return w.HPL(32, 96) },
+		"npb-cg":       func() hopp.Workload { return w.NPBCG(3072, 2) },
+		"npb-ft":       func() hopp.Workload { return w.NPBFT(2048) },
+		"npb-lu":       func() hopp.Workload { return w.NPBLU(24, 128, 2) },
+		"npb-mg":       func() hopp.Workload { return w.NPBMG(2048, 2) },
+		"npb-is":       func() hopp.Workload { return w.NPBIS(2048) },
+		"graphx-bfs":   func() hopp.Workload { return w.GraphX("BFS", 768) },
+		"graphx-cc":    func() hopp.Workload { return w.GraphX("CC", 768) },
+		"graphx-pr":    func() hopp.Workload { return w.GraphX("PR", 768) },
+		"graphx-lp":    func() hopp.Workload { return w.GraphX("LP", 768) },
+		"spark-kmeans": func() hopp.Workload { return w.SparkKMeans(2048) },
+		"spark-bayes":  func() hopp.Workload { return w.SparkBayes(2048) },
+	}
+}
+
+func systems() map[string]func() hopp.System {
+	return map[string]func() hopp.System{
+		"hopp":       hopp.HoPP,
+		"fastswap":   hopp.Fastswap,
+		"leap":       hopp.Leap,
+		"vma":        hopp.VMA,
+		"depth-16":   func() hopp.System { return hopp.DepthN(16) },
+		"depth-32":   func() hopp.System { return hopp.DepthN(32) },
+		"noprefetch": hopp.NoPrefetch,
+		"hopp-markov": func() hopp.System {
+			p := hopp.DefaultParams()
+			p.Algorithm = "markov"
+			s := hopp.HoPPWith(p)
+			s.Name = "HoPP-markov"
+			return s
+		},
+		"hopp-bulk": func() hopp.System {
+			p := hopp.DefaultParams()
+			p.Bulk.Enable = true
+			s := hopp.HoPPWith(p)
+			s.Name = "HoPP-bulk"
+			return s
+		},
+		"hopp-smartevict": func() hopp.System {
+			p := hopp.DefaultParams()
+			p.SmartEviction = true
+			s := hopp.HoPPWith(p)
+			s.Name = "HoPP-smartevict"
+			return s
+		},
+	}
+}
+
+func names[V any](m map[string]V) string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func main() {
+	var (
+		wl   = flag.String("workload", "omp-kmeans", "workload name")
+		sys  = flag.String("system", "hopp", "system name")
+		frac = flag.Float64("frac", 0.5, "local memory as a fraction of the footprint (0 = all local)")
+		seed = flag.Int64("seed", 1, "randomness seed")
+		list = flag.Bool("list", false, "list workloads and systems")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", names(workloads()))
+		fmt.Println("systems:  ", names(systems()))
+		return
+	}
+	newGen, ok := workloads()[*wl]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hoppsim: unknown workload %q (have: %s)\n", *wl, names(workloads()))
+		os.Exit(2)
+	}
+	newSys, ok := systems()[*sys]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hoppsim: unknown system %q (have: %s)\n", *sys, names(systems()))
+		os.Exit(2)
+	}
+
+	gen := newGen()
+	local, err := hopp.Run(hopp.NoPrefetch(), gen, 0, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoppsim:", err)
+		os.Exit(1)
+	}
+	met, err := hopp.Run(newSys(), gen, *frac, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoppsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload          %s (%d pages footprint)\n", gen.Name(), gen.FootprintPages())
+	fmt.Printf("system            %s, local memory %.0f%%\n", met.System, *frac*100)
+	fmt.Printf("completion time   %v  (local: %v)\n", met.CompletionTime, local.CompletionTime)
+	fmt.Printf("normalized perf   %.3f\n", met.NormalizedPerformance(local))
+	fmt.Printf("accesses          %d (cache %d / dram %d)\n", met.Accesses, met.CacheHits, met.DRAMHits)
+	fmt.Printf("faults            minor %d, major %d\n", met.MinorFault, met.MajorFaults)
+	fmt.Printf("prefetch          issued %d, swapcache hits %d, injected hits %d, late %d, evicted %d\n",
+		met.PrefetchIssued, met.SwapCacheHits, met.InjectedHits, met.LateHits, met.PrefetchEvicted)
+	fmt.Printf("accuracy          %.3f (prefetcher: %.3f)\n", met.Accuracy(), met.PrefetcherAccuracy())
+	fmt.Printf("coverage          %.3f (dram-hit %.3f, swapcache %.3f)\n",
+		met.Coverage(), met.DRAMHitCoverage(), met.SwapCacheHitCoverage())
+	fmt.Printf("remote            reads %d, writes %d\n", met.RemoteReads, met.RemoteWrites)
+	if met.HasCore {
+		fmt.Printf("hot pages         %d emitted; HPD bw %.3f%%, RPT bw %.5f%%, RPT cache hit %.3f\n",
+			met.HotPagesEmitted, met.HPDBandwidth*100, met.RPTBandwidth*100, met.RPTCacheHitRate)
+		fmt.Printf("tiers             issued SSP/LSP/RSP %d/%d/%d, hits %d/%d/%d, mean lead %v\n",
+			met.IssuedByTier[1], met.IssuedByTier[2], met.IssuedByTier[3],
+			met.HitsByTier[1], met.HitsByTier[2], met.HitsByTier[3], met.MeanLead)
+		fmt.Printf("timeliness        <10µs:%d <40µs:%d <100µs:%d <1ms:%d <5ms:%d ≥5ms:%d\n",
+			met.LeadBuckets[0], met.LeadBuckets[1], met.LeadBuckets[2],
+			met.LeadBuckets[3], met.LeadBuckets[4], met.LeadBuckets[5])
+	}
+}

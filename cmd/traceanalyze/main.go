@@ -1,0 +1,97 @@
+// Command traceanalyze replays an HMTT-format trace file (see
+// cmd/tracegen) through the hot page detection table and the stream
+// training framework, and reports the §VI-D pattern mix: how much of
+// the trace each prefetch tier (SSP / LSP / RSP) identifies, stream
+// statistics, and capture-loss diagnostics. This is the offline trace
+// study the paper used to discover ladder and ripple streams (§II-B).
+//
+// Usage:
+//
+//	tracegen -workload npb-mg -out mg.hmtt
+//	traceanalyze mg.hmtt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hopp/internal/core"
+	"hopp/internal/hmtt"
+	"hopp/internal/hpd"
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+func main() {
+	threshold := flag.Int("n", 8, "hot page threshold N")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-n N] <trace.hmtt>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := hmtt.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "traceanalyze: empty trace")
+		os.Exit(1)
+	}
+
+	det := hpd.MustNew(hpd.Config{Threshold: *threshold})
+	trainer := core.NewTrainer(core.DefaultParams())
+
+	var (
+		reads, writes, lost int
+		clock               int64
+		hot                 int
+	)
+	prev := recs[0]
+	for i, r := range recs {
+		if i > 0 {
+			lost += hmtt.LossBetween(prev, r)
+			prev = r
+		}
+		clock += int64(r.TimestampDelta)
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+		if det.Access(r.Page) {
+			hot++
+			// Offline study: identity PPN→VPN, single PID.
+			trainer.Observe(vclock.Time(clock*hmtt.TickNS), 1, memsim.VPN(r.Page))
+		}
+	}
+
+	ts := trainer.Stats()
+	total := ts.Predictions[core.TierSSP] + ts.Predictions[core.TierLSP] + ts.Predictions[core.TierRSP]
+	fmt.Printf("trace             %s\n", flag.Arg(0))
+	fmt.Printf("records           %d (%d reads, %d writes), %d lost to capture overflow\n",
+		len(recs), reads, writes, lost)
+	fmt.Printf("span              %v of reconstructed time\n", vclock.Duration(clock*hmtt.TickNS))
+	fmt.Printf("hot pages (N=%d)   %d (%.2f%% of records)\n", *threshold, hot,
+		100*float64(hot)/float64(len(recs)))
+	fmt.Printf("streams           %d created, %d evicted, %d live at end\n",
+		ts.StreamsCreated, ts.StreamsEvicted, trainer.LiveStreams())
+	fmt.Printf("identified        %d pattern instances\n", total)
+	if total > 0 {
+		fmt.Printf("  simple (SSP)    %d (%.1f%%)\n", ts.Predictions[core.TierSSP],
+			100*float64(ts.Predictions[core.TierSSP])/float64(total))
+		fmt.Printf("  ladder (LSP)    %d (%.1f%%)\n", ts.Predictions[core.TierLSP],
+			100*float64(ts.Predictions[core.TierLSP])/float64(total))
+		fmt.Printf("  ripple (RSP)    %d (%.1f%%)\n", ts.Predictions[core.TierRSP],
+			100*float64(ts.Predictions[core.TierRSP])/float64(total))
+	}
+	fmt.Printf("unidentified      %d hot pages produced no prediction\n",
+		uint64(hot)-total-ts.Duplicates)
+}

@@ -1,0 +1,3 @@
+module hopp
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package hopp is a full-system reproduction of HoPP — "HoPP:
+// Hardware-Software Co-Designed Page Prefetching for Disaggregated
+// Memory" (HPCA 2023) — as a deterministic discrete-event simulation.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - the memory-controller hardware (hot page detection, reverse page
+//     table cache) in internal/hpd, internal/rpt, internal/mc;
+//   - the kernel substrate (page tables, swapcache, cgroups, reclaim,
+//     the §II-A cost model) in internal/vmm;
+//   - the RDMA fabric and remote memory node in internal/rdma;
+//   - HoPP's software stack (stream training table, SSP/LSP/RSP tiers,
+//     policy engine, execution engine) in internal/core;
+//   - the compared systems (Fastswap, Leap, Depth-N, VMA) in
+//     internal/swap;
+//   - Table IV workload generators in internal/workload;
+//   - the machine that ties them together in internal/sim; and
+//   - regenerators for every table and figure of §VI in
+//     internal/experiments.
+//
+// # Quick start
+//
+//	gen := hopp.Workloads.OMPKMeans(4096, 3)
+//	cmp, err := hopp.Compare(gen, 0.5, 1, hopp.Fastswap(), hopp.HoPP())
+//	if err != nil { ... }
+//	fmt.Println(cmp.Results[1].Coverage())   // HoPP's prefetch coverage
+//	fmt.Println(cmp.Normalized(1))           // CT_local / CT_HoPP
+package hopp
+
+import (
+	"io"
+
+	"hopp/internal/core"
+	"hopp/internal/experiments"
+	"hopp/internal/sim"
+	"hopp/internal/workload"
+)
+
+// Re-exported simulation types. See the internal packages for full
+// documentation.
+type (
+	// System describes one remote-memory system under test.
+	System = sim.System
+	// Config parameterizes a Machine.
+	Config = sim.Config
+	// Machine is one simulated compute node plus its remote memory node.
+	Machine = sim.Machine
+	// Metrics aggregates one run's outcomes (§VI-A definitions).
+	Metrics = sim.Metrics
+	// Comparison holds one workload's results across systems.
+	Comparison = sim.Comparison
+	// Workload is a memory access pattern generator.
+	Workload = workload.Generator
+	// Params configures HoPP's software stack (STT, tiers, policy).
+	Params = core.Params
+	// PolicyParams are the policy engine knobs (§III-E).
+	PolicyParams = core.PolicyParams
+)
+
+// Systems under test.
+var (
+	// Fastswap is the readahead-based kernel baseline [7].
+	Fastswap = sim.Fastswap
+	// Leap is majority-stride prefetching [38].
+	Leap = sim.Leap
+	// DepthN is fixed-depth early-PTE-injection prefetching [9].
+	DepthN = sim.DepthN
+	// VMA is Linux 5.4's VMA-clipped readahead.
+	VMA = sim.VMA
+	// NoPrefetch is the demand-only baseline.
+	NoPrefetch = sim.NoPrefetch
+	// HoPP is the full co-designed system with default parameters.
+	HoPP = sim.HoPP
+	// HoPPWith is HoPP with explicit core parameters.
+	HoPPWith = sim.HoPPWith
+)
+
+// DefaultParams returns the paper's HoPP configuration (§III).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewMachine builds a machine running the given workloads under
+// cfg.System.
+func NewMachine(cfg Config, gens ...Workload) (*Machine, error) {
+	return sim.New(cfg, gens...)
+}
+
+// Run executes one workload under one system with the cgroup limited to
+// frac of the workload footprint (0 = all local).
+func Run(sys System, gen Workload, frac float64, seed int64) (Metrics, error) {
+	return sim.RunWorkload(sys, gen, frac, seed)
+}
+
+// Compare runs the workload locally and under every given system.
+func Compare(gen Workload, frac float64, seed int64, systems ...System) (Comparison, error) {
+	return sim.Compare(gen, frac, seed, systems...)
+}
+
+// workloadSet groups the workload constructors under one name.
+type workloadSet struct{}
+
+// Workloads exposes every access-pattern generator of the evaluation.
+var Workloads workloadSet
+
+// Sequential scans a region `loops` times.
+func (workloadSet) Sequential(pages, loops int) Workload { return workload.NewSequential(pages, loops) }
+
+// Strided scans a region with a fixed page stride.
+func (workloadSet) Strided(pages int, stride int64, loops int) Workload {
+	return workload.NewStrided(pages, stride, loops)
+}
+
+// Intertwined is the Fig. 1 two-stream interference pattern.
+func (workloadSet) Intertwined(pagesPerStream int, interferenceFrac float64) Workload {
+	return workload.NewIntertwined(pagesPerStream, interferenceFrac)
+}
+
+// Ladder is the Fig. 2 pattern.
+func (workloadSet) Ladder(treads, loops int) Workload { return workload.NewLadder(treads, loops) }
+
+// Ripple is the Fig. 3 pattern.
+func (workloadSet) Ripple(pages, loops int) Workload { return workload.NewRipple(pages, loops) }
+
+// AddUp is the §VI-E two-thread microbenchmark.
+func (workloadSet) AddUp(threads, pagesPerThread int) Workload {
+	return workload.NewAddUp(threads, pagesPerThread)
+}
+
+// OMPKMeans is the C/OpenMP K-means of Table IV.
+func (workloadSet) OMPKMeans(pages, iterations int) Workload {
+	return workload.NewOMPKMeans(pages, iterations)
+}
+
+// Quicksort is Table IV's quicksort.
+func (workloadSet) Quicksort(pages int) Workload { return workload.NewQuicksort(pages) }
+
+// HPL is High Performance Linpack.
+func (workloadSet) HPL(cols, colPages int) Workload { return workload.NewHPL(cols, colPages) }
+
+// NPBCG is the NAS conjugate-gradient kernel.
+func (workloadSet) NPBCG(pages, iterations int) Workload { return workload.NewNPBCG(pages, iterations) }
+
+// NPBFT is the NAS FFT kernel.
+func (workloadSet) NPBFT(pages int) Workload { return workload.NewNPBFT(pages) }
+
+// NPBLU is the NAS LU solver.
+func (workloadSet) NPBLU(planes, planePages, iterations int) Workload {
+	return workload.NewNPBLU(planes, planePages, iterations)
+}
+
+// NPBMG is the NAS multigrid kernel.
+func (workloadSet) NPBMG(pages, cycles int) Workload { return workload.NewNPBMG(pages, cycles) }
+
+// NPBIS is the NAS integer sort.
+func (workloadSet) NPBIS(pages int) Workload { return workload.NewNPBIS(pages) }
+
+// GraphX is a GraphX-on-Spark algorithm: "BFS", "CC", "PR" or "LP".
+func (workloadSet) GraphX(algo string, edgePages int) Workload {
+	return workload.NewGraphX(algo, edgePages)
+}
+
+// SparkKMeans is K-means on Spark.
+func (workloadSet) SparkKMeans(pages int) Workload { return workload.NewSparkKMeans(pages) }
+
+// SparkBayes is naive Bayes on Spark.
+func (workloadSet) SparkBayes(pages int) Workload { return workload.NewSparkBayes(pages) }
+
+// Random is the unprefetchable floor.
+func (workloadSet) Random(pages, touches int) Workload { return workload.NewRandom(pages, touches) }
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions tunes experiment scale.
+type ExperimentOptions = experiments.Options
+
+// Experiments returns every table/figure regenerator in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks an experiment up ("table2" … "fig22").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// RunExperiment executes one experiment and renders its tables to w.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return &UnknownExperimentError{ID: id}
+	}
+	tables, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// UnknownExperimentError reports a bad experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "hopp: unknown experiment " + e.ID + " (run `hoppexp -list`)"
+}

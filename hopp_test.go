@@ -1,0 +1,132 @@
+package hopp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	gen := Workloads.Sequential(512, 2)
+	cmp, err := Compare(gen, 0.5, 1, Fastswap(), HoPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 2 {
+		t.Fatalf("results = %d", len(cmp.Results))
+	}
+	hopp, ok := cmp.Find("HoPP")
+	if !ok {
+		t.Fatal("HoPP result missing")
+	}
+	if hopp.Coverage() <= 0 {
+		t.Fatal("HoPP coverage zero")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	met, err := Run(NoPrefetch(), Workloads.Quicksort(256), 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.CompletionTime <= 0 {
+		t.Fatal("no completion time")
+	}
+}
+
+func TestNewMachineMultiApp(t *testing.T) {
+	m, err := NewMachine(Config{System: HoPP(), LocalMemoryFrac: 0.5, Seed: 3},
+		Workloads.OMPKMeans(256, 2), Workloads.NPBIS(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(met.PerApp) != 2 {
+		t.Fatalf("PerApp = %v", met.PerApp)
+	}
+}
+
+func TestAllWorkloadConstructors(t *testing.T) {
+	gens := []Workload{
+		Workloads.Sequential(64, 1),
+		Workloads.Strided(64, 2, 1),
+		Workloads.Intertwined(64, 0.1),
+		Workloads.Ladder(64, 1),
+		Workloads.Ripple(64, 1),
+		Workloads.AddUp(2, 64),
+		Workloads.OMPKMeans(64, 1),
+		Workloads.Quicksort(64),
+		Workloads.HPL(8, 96),
+		Workloads.NPBCG(64, 1),
+		Workloads.NPBFT(64),
+		Workloads.NPBLU(4, 24, 1),
+		Workloads.NPBMG(64, 1),
+		Workloads.NPBIS(64),
+		Workloads.GraphX("PR", 64),
+		Workloads.SparkKMeans(256),
+		Workloads.SparkBayes(256),
+		Workloads.Random(64, 100),
+	}
+	for _, g := range gens {
+		g.Reset(1)
+		if _, ok := g.Next(); !ok {
+			t.Fatalf("%s produced no accesses", g.Name())
+		}
+		if g.FootprintPages() <= 0 {
+			t.Fatalf("%s has no footprint", g.Name())
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := Experiments()
+	if len(all) != 22 {
+		t.Fatalf("experiments = %d, want 22 (breakdown + 4 tables + 17 figures)", len(all))
+	}
+	for _, e := range all {
+		if _, ok := ExperimentByID(e.ID); !ok {
+			t.Fatalf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ExperimentByID("fig99"); ok {
+		t.Fatal("bogus ID resolved")
+	}
+}
+
+func TestRunExperimentRendersTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig2", ExperimentOptions{Seed: 1, Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ladder") || !strings.Contains(out, "LSP") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	err := RunExperiment("nope", ExperimentOptions{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error does not name the ID: %v", err)
+	}
+}
+
+func TestHoPPWithCustomParams(t *testing.T) {
+	p := DefaultParams()
+	p.EnableRSP = false
+	p.Policy.Intensity = 2
+	sys := HoPPWith(p)
+	met, err := Run(sys, Workloads.Sequential(512, 2), 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.InjectedHits == 0 {
+		t.Fatal("custom-params HoPP injected nothing")
+	}
+}

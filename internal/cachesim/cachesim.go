@@ -1,0 +1,218 @@
+// Package cachesim models a set-associative CPU cache hierarchy with LRU
+// replacement. Its job in the HoPP reproduction is to turn a workload's
+// raw cacheline access stream into the LLC-miss stream the memory
+// controller actually sees (§II-D: "MC ... processes LLC-misses, which
+// automatically reduces the access volume by filtering out those in-LLC
+// accesses").
+//
+// The model is a timing-free hit/miss filter: the simulation engine
+// charges latency itself based on which level hit.
+package cachesim
+
+import (
+	"fmt"
+
+	"hopp/internal/memsim"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name is used in stats output, e.g. "L2", "LLC".
+	Name string
+	// SizeBytes is the total capacity. Must be a multiple of Ways*LineSize.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Stats counts accesses at one level.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns Hits/Accesses, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	tick  uint64 // LRU timestamp; larger = more recent
+}
+
+// Cache is a single set-associative level.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets int
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache level. It panics on a malformed geometry, which is a
+// programming error in experiment setup, not a runtime condition.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cachesim: ways must be positive, got %d", cfg.Ways))
+	}
+	linesTotal := cfg.SizeBytes / memsim.LineSize
+	if linesTotal <= 0 || linesTotal%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cachesim: size %d B with %d ways does not divide into whole sets", cfg.SizeBytes, cfg.Ways))
+	}
+	numSets := linesTotal / cfg.Ways
+	sets := make([][]line, numSets)
+	backing := make([]line, linesTotal)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets}
+}
+
+// Stats returns a copy of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Access touches the cacheline containing addr and reports whether it
+// hit. On a miss the line is installed, evicting the set's LRU victim.
+func (c *Cache) Access(addr memsim.PAddr) bool {
+	lineIdx := addr.Line()
+	set := int(lineIdx % uint64(c.numSets))
+	tag := lineIdx / uint64(c.numSets)
+	c.tick++
+	c.stats.Accesses++
+
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].tick = c.tick
+			c.stats.Hits++
+			return true
+		}
+		if !ways[i].valid {
+			victim = i
+		} else if ways[victim].valid && ways[i].tick < ways[victim].tick {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	if ways[victim].valid {
+		c.stats.Evictions++
+	}
+	ways[victim] = line{tag: tag, valid: true, tick: c.tick}
+	return false
+}
+
+// InvalidatePage drops every line of the given physical page, as happens
+// when the kernel reclaims the page. Returns how many lines were dropped.
+func (c *Cache) InvalidatePage(p memsim.PPN) int {
+	dropped := 0
+	for i := 0; i < memsim.LinesPerPage; i++ {
+		lineIdx := p.LineAddr(i).Line()
+		set := int(lineIdx % uint64(c.numSets))
+		tag := lineIdx / uint64(c.numSets)
+		ways := c.sets[set]
+		for j := range ways {
+			if ways[j].valid && ways[j].tag == tag {
+				ways[j].valid = false
+				dropped++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
+// Level identifies which part of the hierarchy satisfied an access.
+type Level int
+
+// Hierarchy levels, ordered from closest to the core outward.
+const (
+	LevelL2 Level = iota
+	LevelLLC
+	LevelMemory
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	default:
+		return "memory"
+	}
+}
+
+// Hierarchy chains cache levels; an access that misses every level
+// reaches memory (and therefore the memory controller).
+type Hierarchy struct {
+	levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from inner to outer levels.
+func NewHierarchy(levels ...*Cache) *Hierarchy {
+	return &Hierarchy{levels: levels}
+}
+
+// DefaultHierarchy models the testbed's per-workload share of a server
+// class cache: a 1 MB 16-way L2 in front of a 16 MB 16-way LLC. Sized so
+// working sets larger than tens of MBs stream through to memory, as on
+// the paper's 14-core Xeons.
+func DefaultHierarchy() *Hierarchy {
+	return NewHierarchy(
+		New(Config{Name: "L2", SizeBytes: 1 << 20, Ways: 16}),
+		New(Config{Name: "LLC", SizeBytes: 16 << 20, Ways: 16}),
+	)
+}
+
+// Access walks the hierarchy. It returns the level that satisfied the
+// access; LevelMemory means an LLC miss that the MC will observe. The
+// outermost level always reports as LevelLLC, so a single-level hierarchy
+// behaves as a bare LLC. Missed levels install the line (inclusive
+// hierarchy).
+func (h *Hierarchy) Access(addr memsim.PAddr) Level {
+	for i, c := range h.levels {
+		if c.Access(addr) {
+			if i == len(h.levels)-1 {
+				return LevelLLC
+			}
+			return LevelL2
+		}
+	}
+	return LevelMemory
+}
+
+// MissesLLC reports whether the access would reach memory, without
+// actually recording hits at inner levels. Used by tests.
+func (h *Hierarchy) MissesLLC(addr memsim.PAddr) bool {
+	return h.Access(addr) == LevelMemory
+}
+
+// InvalidatePage drops the page's lines from every level.
+func (h *Hierarchy) InvalidatePage(p memsim.PPN) {
+	for _, c := range h.levels {
+		c.InvalidatePage(p)
+	}
+}
+
+// LevelStats returns per-level stats, innermost first.
+func (h *Hierarchy) LevelStats() []Stats {
+	out := make([]Stats, len(h.levels))
+	for i, c := range h.levels {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// LLC returns the outermost level.
+func (h *Hierarchy) LLC() *Cache { return h.levels[len(h.levels)-1] }

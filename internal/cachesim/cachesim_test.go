@@ -1,0 +1,184 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hopp/internal/memsim"
+)
+
+func tiny() *Cache {
+	// 4 sets x 2 ways x 64 B lines = 512 B.
+	return New(Config{Name: "T", SizeBytes: 512, Ways: 2})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := tiny()
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line should miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny() // 4 sets, 2 ways
+	// Set index = lineIdx % 4, so lines 0, 4, 8 all land in set 0.
+	l0 := memsim.PAddr(0 * 64)
+	l4 := memsim.PAddr(4 * 64)
+	l8 := memsim.PAddr(8 * 64)
+	c.Access(l0)
+	c.Access(l4)
+	c.Access(l0) // make l4 the LRU
+	c.Access(l8) // evicts l4
+	if !c.Access(l0) {
+		t.Fatal("l0 should still be cached")
+	}
+	if c.Access(l4) {
+		t.Fatal("l4 should have been evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	c := New(Config{Name: "T", SizeBytes: 64 << 10, Ways: 16})
+	p := memsim.PPN(3)
+	for i := 0; i < memsim.LinesPerPage; i++ {
+		c.Access(p.LineAddr(i))
+	}
+	dropped := c.InvalidatePage(p)
+	if dropped != memsim.LinesPerPage {
+		t.Fatalf("dropped %d lines, want %d", dropped, memsim.LinesPerPage)
+	}
+	if c.Access(p.LineAddr(0)) {
+		t.Fatal("line survived invalidation")
+	}
+	if n := c.InvalidatePage(memsim.PPN(99)); n != 0 {
+		t.Fatalf("invalidating absent page dropped %d lines", n)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-divisible geometry")
+		}
+	}()
+	New(Config{SizeBytes: 100, Ways: 3})
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(
+		New(Config{Name: "L2", SizeBytes: 512, Ways: 2}),
+		New(Config{Name: "LLC", SizeBytes: 4096, Ways: 4}),
+	)
+	if lvl := h.Access(0); lvl != LevelMemory {
+		t.Fatalf("cold access got %v, want memory", lvl)
+	}
+	if lvl := h.Access(0); lvl != LevelL2 {
+		t.Fatalf("warm access got %v, want L2", lvl)
+	}
+	// Thrash L2 set 0 (2 ways, 4 sets: lines 0,4,8,12 collide) so line 0
+	// falls out of L2 but stays in the larger LLC.
+	for _, l := range []uint64{4, 8, 12} {
+		h.Access(memsim.PAddr(l * 64))
+	}
+	if lvl := h.Access(0); lvl != LevelLLC {
+		t.Fatalf("got %v, want LLC after L2 eviction", lvl)
+	}
+}
+
+func TestSingleLevelHierarchyReportsLLC(t *testing.T) {
+	h := NewHierarchy(New(Config{Name: "only", SizeBytes: 4096, Ways: 4}))
+	h.Access(0)
+	if lvl := h.Access(0); lvl != LevelLLC {
+		t.Fatalf("got %v, want LLC", lvl)
+	}
+}
+
+func TestWorkingSetFitsNoSteadyStateMisses(t *testing.T) {
+	// A working set smaller than the cache must stop missing after warmup.
+	c := New(Config{Name: "T", SizeBytes: 64 << 10, Ways: 16})
+	lines := (64 << 10) / memsim.LineSize / 2 // half capacity
+	warm := func() {
+		for i := 0; i < lines; i++ {
+			c.Access(memsim.PAddr(uint64(i) * 64))
+		}
+	}
+	warm()
+	before := c.Stats().Misses
+	warm()
+	if after := c.Stats().Misses; after != before {
+		t.Fatalf("steady-state misses: %d new misses on resident working set", after-before)
+	}
+}
+
+func TestStreamingMissesEveryLine(t *testing.T) {
+	// A working set far larger than the cache must miss ~once per line.
+	c := New(Config{Name: "T", SizeBytes: 4 << 10, Ways: 4})
+	n := 10000
+	for i := 0; i < n; i++ {
+		c.Access(memsim.PAddr(uint64(i) * 64))
+	}
+	if m := c.Stats().Misses; m != uint64(n) {
+		t.Fatalf("streaming misses = %d, want %d", m, n)
+	}
+}
+
+func TestDefaultHierarchy(t *testing.T) {
+	h := DefaultHierarchy()
+	if h.LLC().Name() != "LLC" {
+		t.Fatalf("outermost level = %q", h.LLC().Name())
+	}
+	if got := len(h.LevelStats()); got != 2 {
+		t.Fatalf("levels = %d, want 2", got)
+	}
+}
+
+// Property: hits+misses == accesses, and a repeat of the immediately
+// preceding access always hits.
+func TestAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "T", SizeBytes: 8 << 10, Ways: 8})
+		for i := 0; i < 500; i++ {
+			addr := memsim.PAddr(rng.Uint64() % (1 << 24))
+			c.Access(addr)
+			if !c.Access(addr) {
+				return false // immediate re-access must hit
+			}
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{Name: "LLC", SizeBytes: 16 << 20, Ways: 16})
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]memsim.PAddr, 4096)
+	for i := range addrs {
+		addrs[i] = memsim.PAddr(rng.Uint64() % (1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}

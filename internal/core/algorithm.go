@@ -1,0 +1,179 @@
+package core
+
+import (
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// Algorithm is the pluggable prediction slot of the prefetch training
+// framework. §III-D1 is explicit that the adaptive three-tier design
+// "is just one solution in a large design space; advanced solutions
+// like machine learning-based ones can also be enabled by full trace" —
+// this interface is that enablement. Trainer (the paper's three-tier
+// cascade) is the default implementation; Markov below is a
+// delta-correlation alternative.
+type Algorithm interface {
+	// Name identifies the algorithm in output.
+	Name() string
+	// Observe consumes one hot page record and may return a prediction.
+	Observe(now vclock.Time, pid memsim.PID, vpn memsim.VPN) (Prediction, bool)
+	// Feedback delivers prefetch timeliness (first hit − arrival) for a
+	// prediction's stream, for algorithms that self-tune.
+	Feedback(ref StreamRef, lead vclock.Duration)
+}
+
+// Name implements Algorithm for the three-tier trainer.
+func (t *Trainer) Name() string { return "three-tier" }
+
+var _ Algorithm = (*Trainer)(nil)
+
+// Markov is a second-order delta-correlation predictor over the hot
+// page trace (in the lineage of GHB delta-correlation prefetchers): the
+// last two per-stream deltas index a table of observed next deltas, and
+// the most frequent one extrapolates the stream. It shares the STT's
+// page-clustering front end via a per-PID last-page map, but learns
+// arbitrary repeating delta patterns rather than the three named ones.
+type Markov struct {
+	params Params
+
+	// last tracks each (PID, cluster) stream head. Clustering is by
+	// Δ_stream distance, like the trainer's.
+	streams []markovStream
+	tick    uint64
+
+	// table maps a delta-pair context to next-delta counts.
+	table map[[2]memsim.Stride]map[memsim.Stride]int
+
+	stats TrainerStats
+}
+
+type markovStream struct {
+	valid  bool
+	pid    memsim.PID
+	last   memsim.VPN
+	d1, d2 memsim.Stride // two most recent deltas, d2 newest
+	warm   int
+	tick   uint64
+}
+
+// NewMarkov builds the predictor.
+func NewMarkov(params Params) *Markov {
+	params.fill()
+	return &Markov{
+		params:  params,
+		streams: make([]markovStream, params.StreamEntries),
+		table:   make(map[[2]memsim.Stride]map[memsim.Stride]int),
+	}
+}
+
+// Name implements Algorithm.
+func (m *Markov) Name() string { return "markov" }
+
+// Stats returns counters in the trainer's format (Predictions land in
+// the SSP slot; the tier taxonomy does not apply).
+func (m *Markov) Stats() TrainerStats { return m.stats }
+
+// Observe implements Algorithm.
+func (m *Markov) Observe(now vclock.Time, pid memsim.PID, vpn memsim.VPN) (Prediction, bool) {
+	m.tick++
+	m.stats.HotPages++
+	idx := m.match(pid, vpn)
+	if idx < 0 {
+		m.insert(pid, vpn)
+		return Prediction{}, false
+	}
+	s := &m.streams[idx]
+	s.tick = m.tick
+	if s.last == vpn {
+		m.stats.Duplicates++
+		return Prediction{}, false
+	}
+	delta := memsim.StrideBetween(s.last, vpn)
+	s.last = vpn
+
+	var pred Prediction
+	have := false
+	if s.warm >= 2 {
+		// Learn: context (d1,d2) → delta.
+		ctx := [2]memsim.Stride{s.d1, s.d2}
+		next := m.table[ctx]
+		if next == nil {
+			next = make(map[memsim.Stride]int)
+			m.table[ctx] = next
+		}
+		next[delta]++
+		// Predict from the new context (d2, delta).
+		if best, ok := m.lookup([2]memsim.Stride{s.d2, delta}); ok {
+			target := int64(vpn) + int64(best)
+			if target > 0 && target <= int64(memsim.MaxVPN) {
+				pred = Prediction{
+					Stream: StreamRef{Index: idx, Gen: 0},
+					Tier:   TierSSP,
+					PID:    pid,
+					Pages:  []memsim.VPN{memsim.VPN(target)},
+				}
+				have = true
+				m.stats.Predictions[TierSSP]++
+			}
+		}
+	}
+	s.d1, s.d2 = s.d2, delta
+	if s.warm < 2 {
+		s.warm++
+	}
+	return pred, have
+}
+
+// lookup returns the most frequent next delta for a context, requiring
+// at least two observations to avoid one-off noise.
+func (m *Markov) lookup(ctx [2]memsim.Stride) (memsim.Stride, bool) {
+	next := m.table[ctx]
+	var best memsim.Stride
+	bestN := 0
+	for d, n := range next {
+		if n > bestN || (n == bestN && d < best) {
+			best, bestN = d, n
+		}
+	}
+	return best, bestN >= 2
+}
+
+// Feedback implements Algorithm; the table-driven predictor has no
+// offset to tune, so feedback is informational only.
+func (m *Markov) Feedback(StreamRef, vclock.Duration) {}
+
+func (m *Markov) match(pid memsim.PID, vpn memsim.VPN) int {
+	best := -1
+	bestDist := memsim.Stride(1 << 62)
+	for i := range m.streams {
+		s := &m.streams[i]
+		if !s.valid || s.pid != pid {
+			continue
+		}
+		d := memsim.StrideBetween(s.last, vpn).Abs()
+		if d <= memsim.Stride(m.params.DeltaStream) && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func (m *Markov) insert(pid memsim.PID, vpn memsim.VPN) {
+	victim := 0
+	for i := range m.streams {
+		if !m.streams[i].valid {
+			victim = i
+			break
+		}
+		if m.streams[i].tick < m.streams[victim].tick {
+			victim = i
+		}
+	}
+	if m.streams[victim].valid {
+		m.stats.StreamsEvicted++
+	}
+	m.streams[victim] = markovStream{valid: true, pid: pid, last: vpn, tick: m.tick}
+	m.stats.StreamsCreated++
+}
+
+var _ Algorithm = (*Markov)(nil)

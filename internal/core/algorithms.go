@@ -1,0 +1,121 @@
+package core
+
+import "hopp/internal/memsim"
+
+// This file holds the three tier algorithms as pure functions over a
+// stream's VPN/stride history, mirroring §III-D2–4. The inputs follow
+// the paper's convention: vpns holds the last L pages of the stream
+// (oldest first), strides the L-1 derived strides, and strideA is the
+// stride from vpns[L-1] to the newly arrived hot page — which has NOT
+// yet been appended to the history.
+
+// dominantStride returns the stride occurring at least ceil(half) times
+// among strides ∪ {strideA}, if any. SSP's "dominant" condition is
+// occurrence ≥ L/2 (§III-D2).
+func dominantStride(strides []memsim.Stride, strideA memsim.Stride, half int) (memsim.Stride, bool) {
+	counts := make(map[memsim.Stride]int, len(strides)+1)
+	counts[strideA]++
+	best, bestN := strideA, counts[strideA]
+	for _, s := range strides {
+		counts[s]++
+		if counts[s] > bestN {
+			best, bestN = s, counts[s]
+		}
+	}
+	if bestN >= half {
+		return best, true
+	}
+	return 0, false
+}
+
+// ssp runs Simple-Stream-based Prefetch: a dominant stride identifies a
+// simple stream. It returns the stride to extrapolate with.
+func ssp(strides []memsim.Stride, strideA memsim.Stride, historyLen int) (memsim.Stride, bool) {
+	s, ok := dominantStride(strides, strideA, historyLen/2)
+	if !ok || s == 0 {
+		return 0, false
+	}
+	return s, true
+}
+
+// lspResult carries LSP's two outputs (Algorithm 1).
+type lspResult struct {
+	strideTarget  memsim.Stride
+	patternStride memsim.Stride
+}
+
+// lsp runs Ladder-Stream-based Prefetch (Algorithm 1). The target
+// pattern is the latest M=2 consecutive strides {strides[L-2], strideA};
+// every earlier occurrence of that pattern is a candidate. The next
+// stride of the target is the mode of the candidates' next strides, and
+// the ladder period (pattern_stride) is the mode of the page distances
+// between consecutive candidate occurrences.
+func lsp(vpns []memsim.VPN, strides []memsim.Stride, strideA memsim.Stride) (lspResult, bool) {
+	l := len(vpns)
+	if l < 4 || len(strides) != l-1 {
+		return lspResult{}, false
+	}
+	pt0 := strides[l-2] // pattern_target[0]
+	pt1 := strideA      // pattern_target[1]
+
+	var nextStrides []memsim.Stride
+	var strideSums []memsim.Stride
+	lastIndex := l - 2
+	for i := l - 3; i >= 0; i-- {
+		if strides[i] == pt0 && strides[i+1] == pt1 {
+			if i+2 <= l-2 {
+				nextStrides = append(nextStrides, strides[i+2])
+			}
+			strideSums = append(strideSums, memsim.StrideBetween(vpns[i], vpns[lastIndex]))
+			lastIndex = i
+		}
+	}
+	if len(nextStrides) == 0 || len(strideSums) == 0 {
+		return lspResult{}, false
+	}
+	res := lspResult{
+		strideTarget:  mode(nextStrides),
+		patternStride: mode(strideSums),
+	}
+	if res.patternStride == 0 {
+		return lspResult{}, false
+	}
+	return res, true
+}
+
+// mode returns the most frequent value; ties break toward the value
+// found earliest, i.e. the most recent occurrence (candidates are
+// gathered newest-first).
+func mode(xs []memsim.Stride) memsim.Stride {
+	counts := make(map[memsim.Stride]int, len(xs))
+	best, bestN := xs[0], 0
+	for _, x := range xs {
+		counts[x]++
+		if counts[x] > bestN {
+			best, bestN = x, counts[x]
+		}
+	}
+	return best
+}
+
+// rsp runs Ripple-Stream-based Prefetch (Algorithm 2): walking the
+// history backwards, every point whose cumulative stride returns to
+// within maxStride is a ripple page; when at least half the window
+// ripples, the stream is a set of stride-1 simple streams distorted by
+// out-of-order and across-stream hops, and the next page is VPN_A + i.
+func rsp(strides []memsim.Stride, strideA memsim.Stride, historyLen int, maxStride int64) bool {
+	rippleNum := 0
+	var accumulate memsim.Stride
+	if strideA.Abs() <= memsim.Stride(maxStride) {
+		rippleNum++
+		accumulate = 0
+	}
+	for i := len(strides) - 1; i >= 0; i-- {
+		accumulate += strides[i]
+		if accumulate.Abs() <= memsim.Stride(maxStride) {
+			rippleNum++
+			accumulate = 0
+		}
+	}
+	return rippleNum >= historyLen/2
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// Property: the trainer never panics and never predicts out-of-range
+// pages, no matter how adversarial the hot page stream — including VPNs
+// at the bottom and top of the address space and random PIDs.
+func TestTrainerRobustnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := DefaultParams()
+		params.Policy.Intensity = rng.Intn(4) + 1
+		if rng.Intn(2) == 0 {
+			params.Bulk = BulkParams{Enable: true, StreamLength: rng.Intn(8) + 2, Pages: rng.Intn(64) + 8}
+		}
+		tr := NewTrainer(params)
+		for i := 0; i < 2000; i++ {
+			var vpn memsim.VPN
+			switch rng.Intn(4) {
+			case 0: // near zero
+				vpn = memsim.VPN(rng.Intn(20))
+			case 1: // near the 40-bit top
+				vpn = memsim.MaxVPN - memsim.VPN(rng.Intn(20))
+			case 2: // random walk
+				vpn = memsim.VPN(rng.Intn(1 << 20))
+			default: // streaming
+				vpn = memsim.VPN(1000 + i)
+			}
+			pid := memsim.PID(rng.Intn(4))
+			pred, ok := tr.Observe(vclock.Time(i)*100, pid, vpn)
+			if !ok {
+				continue
+			}
+			if len(pred.Pages) == 0 {
+				return false
+			}
+			for _, p := range pred.Pages {
+				if p == 0 || p > memsim.MaxVPN {
+					return false
+				}
+			}
+			if pred.PID != pid {
+				return false
+			}
+			// Random feedback, including stale refs.
+			tr.Feedback(pred.Stream, vclock.Duration(rng.Int63n(int64(10*vclock.Millisecond))))
+			tr.Feedback(StreamRef{Index: rng.Intn(128) - 32, Gen: uint64(rng.Intn(100))}, 0)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Markov predictor has the same robustness guarantees.
+func TestMarkovRobustnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMarkov(DefaultParams())
+		for i := 0; i < 2000; i++ {
+			vpn := memsim.VPN(rng.Int63n(int64(memsim.MaxVPN)) + 1)
+			if rng.Intn(2) == 0 {
+				vpn = memsim.VPN(5000 + i%97) // reuse-heavy
+			}
+			pred, ok := m.Observe(vclock.Time(i)*100, memsim.PID(rng.Intn(3)), vpn)
+			if !ok {
+				continue
+			}
+			for _, p := range pred.Pages {
+				if p == 0 || p > memsim.MaxVPN {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offsets always stay within [1, MaxOffset] under arbitrary
+// feedback sequences.
+func TestOffsetBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrainer(DefaultParams())
+		preds := feed(tr, 1, seqVPNs(0, 1, 17))
+		if len(preds) == 0 {
+			return false
+		}
+		ref := preds[0].Stream
+		for i := 0; i < 500; i++ {
+			tr.Feedback(ref, vclock.Duration(rng.Int63n(int64(20*vclock.Millisecond))))
+			o, ok := tr.OffsetOf(ref)
+			if !ok || o < 1 || o > tr.Params().Policy.MaxOffset {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: executor accounting identities hold under arbitrary
+// interleavings of submit/land/hit/evict.
+func TestExecutorAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := newFakeBackend()
+		tr := NewTrainer(DefaultParams())
+		x := NewExecutor(b, tr, tr.Params())
+		live := map[memsim.PageKey]bool{}
+		for i := 0; i < 1000; i++ {
+			key := memsim.PageKey{PID: 1, VPN: memsim.VPN(rng.Intn(256) + 1)}
+			switch rng.Intn(4) {
+			case 0:
+				x.Submit(0, predFor(1, Tier(rng.Intn(3)+1), key.VPN))
+				live[key] = true
+			case 1:
+				b.land(key, vclock.Time(i)*100)
+			case 2:
+				x.OnFirstHit(key, vclock.Time(i)*100)
+			case 3:
+				x.OnEvicted(key)
+			}
+			s := x.Stats()
+			if s.Hits+s.LateHits > s.Issued+s.InjectedInPlace {
+				return false
+			}
+			if s.Evicted > s.Arrived {
+				return false
+			}
+			if a := s.Accuracy(); a < 0 || a > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// StreamRef identifies a live STT entry across evictions: feedback
+// carrying a stale generation is ignored.
+type StreamRef struct {
+	Index int
+	Gen   uint64
+}
+
+// Prediction is one prefetch decision handed to the execution engine.
+type Prediction struct {
+	Stream StreamRef
+	Tier   Tier
+	PID    memsim.PID
+	// Pages are the VPNs to prefetch, Intensity-many, nearest first —
+	// or the whole bulk window when Bulk is set.
+	Pages []memsim.VPN
+	// Bulk marks a §IV huge-space request: the executor should move the
+	// whole window with a single transfer.
+	Bulk bool
+}
+
+// TrainerStats counts training activity, feeding the per-tier
+// experiments (Figs. 18–20).
+type TrainerStats struct {
+	HotPages        uint64
+	Duplicates      uint64
+	StreamsCreated  uint64
+	StreamsEvicted  uint64
+	Predictions     [4]uint64 // indexed by Tier
+	BulkPredictions uint64
+	OffsetRaises    uint64
+	OffsetLowers    uint64
+}
+
+type sttEntry struct {
+	valid   bool
+	pid     memsim.PID
+	vpns    []memsim.VPN    // oldest first, ≤ HistoryLen
+	strides []memsim.Stride // len(vpns)-1
+	tick    uint64
+	gen     uint64
+	offset  float64
+	// streak counts consecutive unit-stride SSP predictions — §IV's
+	// "stream is long enough" detector for bulk prefetching.
+	streak int
+	// bulkFence gates the next bulk request until the stream head has
+	// consumed the previous window.
+	bulkFence int64
+	bulkArmed bool
+}
+
+func (e *sttEntry) last() memsim.VPN { return e.vpns[len(e.vpns)-1] }
+
+// Trainer is the prefetch training framework (§III-D1): the Stream
+// Training Table plus the adaptive three-tier prediction cascade, with
+// the policy engine's per-stream offset state (§III-E).
+type Trainer struct {
+	params  Params
+	entries []sttEntry
+	tick    uint64
+	nextGen uint64
+	stats   TrainerStats
+}
+
+// NewTrainer builds a trainer; zero param fields take paper defaults.
+func NewTrainer(params Params) *Trainer {
+	params.fill()
+	return &Trainer{
+		params:  params,
+		entries: make([]sttEntry, params.StreamEntries),
+	}
+}
+
+// Params returns the effective configuration.
+func (t *Trainer) Params() Params { return t.params }
+
+// Stats returns a copy of the counters.
+func (t *Trainer) Stats() TrainerStats { return t.stats }
+
+// Observe feeds one hot page record into the table and returns a
+// prediction when a stream pattern is identified.
+func (t *Trainer) Observe(now vclock.Time, pid memsim.PID, vpn memsim.VPN) (Prediction, bool) {
+	t.tick++
+	t.stats.HotPages++
+
+	idx := t.match(pid, vpn)
+	if idx < 0 {
+		t.insert(pid, vpn)
+		return Prediction{}, false
+	}
+	e := &t.entries[idx]
+	e.tick = t.tick
+	if e.last() == vpn {
+		// Repeated extraction of the same page (multi-channel dedup,
+		// §III-B); nothing new to learn.
+		t.stats.Duplicates++
+		return Prediction{}, false
+	}
+	strideA := memsim.StrideBetween(e.last(), vpn)
+
+	var pred Prediction
+	havePred := false
+	if len(e.vpns) == t.params.HistoryLen {
+		pred, havePred = t.predict(idx, vpn, strideA)
+	}
+
+	t.append(e, vpn, strideA)
+	if havePred {
+		t.stats.Predictions[pred.Tier]++
+	}
+	return pred, havePred
+}
+
+// match finds the stream this page belongs to: same PID and within
+// Δ_stream pages of the stream's most recent VPN; the nearest stream
+// wins when several qualify. Returns -1 when no stream matches.
+func (t *Trainer) match(pid memsim.PID, vpn memsim.VPN) int {
+	best := -1
+	var bestDist memsim.Stride = math.MaxInt64
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid || e.pid != pid {
+			continue
+		}
+		d := memsim.StrideBetween(e.last(), vpn).Abs()
+		if d <= memsim.Stride(t.params.DeltaStream) && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func (t *Trainer) insert(pid memsim.PID, vpn memsim.VPN) {
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].tick < t.entries[victim].tick {
+			victim = i
+		}
+	}
+	e := &t.entries[victim]
+	if e.valid {
+		t.stats.StreamsEvicted++
+	}
+	t.nextGen++
+	*e = sttEntry{
+		valid:   true,
+		pid:     pid,
+		vpns:    append(make([]memsim.VPN, 0, t.params.HistoryLen), vpn),
+		strides: make([]memsim.Stride, 0, t.params.HistoryLen-1),
+		tick:    t.tick,
+		gen:     t.nextGen,
+		offset:  t.params.Policy.InitialOffset,
+	}
+	t.stats.StreamsCreated++
+}
+
+func (t *Trainer) append(e *sttEntry, vpn memsim.VPN, strideA memsim.Stride) {
+	if len(e.vpns) == t.params.HistoryLen {
+		copy(e.vpns, e.vpns[1:])
+		e.vpns[len(e.vpns)-1] = vpn
+		copy(e.strides, e.strides[1:])
+		e.strides[len(e.strides)-1] = strideA
+		return
+	}
+	e.vpns = append(e.vpns, vpn)
+	e.strides = append(e.strides, strideA)
+}
+
+// predict runs the three-tier cascade (§III-D1): SSP first, LSP when SSP
+// finds no dominant stride, RSP as the last resort.
+func (t *Trainer) predict(idx int, vpn memsim.VPN, strideA memsim.Stride) (Prediction, bool) {
+	e := &t.entries[idx]
+	offset := int64(math.Round(e.offset))
+	if offset < 1 {
+		offset = 1
+	}
+	k := t.params.Policy.Intensity
+
+	if t.params.EnableSSP {
+		if stride, ok := ssp(e.strides, strideA, t.params.HistoryLen); ok {
+			if bulk, ok := t.tryBulk(idx, vpn, stride, offset); ok {
+				return bulk, true
+			}
+			return t.build(idx, TierSSP, vpn, int64(stride), offset, k, 0)
+		}
+	}
+	e.streak = 0
+	if t.params.EnableLSP {
+		if res, ok := lsp(e.vpns, e.strides, strideA); ok {
+			return t.build(idx, TierLSP, vpn, int64(res.patternStride), offset, k, int64(res.strideTarget))
+		}
+	}
+	if t.params.EnableRSP {
+		if rsp(e.strides, strideA, t.params.HistoryLen, t.params.MaxRippleStride) {
+			return t.build(idx, TierRSP, vpn, 1, offset, k, 0)
+		}
+	}
+	return Prediction{}, false
+}
+
+// tryBulk decides whether a unit-stride stream has earned a §IV bulk
+// request: after Bulk.StreamLength consecutive stride-±1 predictions,
+// one request covers the next Bulk.Pages pages; the next bulk arms only
+// after the stream passes the current window.
+func (t *Trainer) tryBulk(idx int, vpn memsim.VPN, stride memsim.Stride, offset int64) (Prediction, bool) {
+	e := &t.entries[idx]
+	if !t.params.Bulk.Enable || (stride != 1 && stride != -1) {
+		e.streak = 0
+		return Prediction{}, false
+	}
+	e.streak++
+	if e.streak < t.params.Bulk.StreamLength {
+		return Prediction{}, false
+	}
+	dir := int64(stride)
+	if e.bulkArmed && dir*int64(vpn) < e.bulkFence {
+		return Prediction{}, false // previous window not consumed yet
+	}
+	pages := make([]memsim.VPN, 0, t.params.Bulk.Pages)
+	for j := 0; j < t.params.Bulk.Pages; j++ {
+		target := int64(vpn) + dir*(offset+int64(j))
+		if target <= 0 || target > int64(memsim.MaxVPN) {
+			break
+		}
+		pages = append(pages, memsim.VPN(target))
+	}
+	if len(pages) < t.params.Bulk.Pages/2 {
+		return Prediction{}, false
+	}
+	e.bulkArmed = true
+	e.bulkFence = dir * (int64(vpn) + dir*(offset+int64(len(pages))))
+	t.stats.BulkPredictions++
+	return Prediction{
+		Stream: StreamRef{Index: idx, Gen: e.gen},
+		Tier:   TierSSP,
+		PID:    e.pid,
+		Pages:  pages,
+		Bulk:   true,
+	}, true
+}
+
+// build materializes the prediction pages:
+//
+//	SSP: VPN_A + (i+j)·stride            (§III-D2)
+//	LSP: VPN_A + stride_target + (i+j)·pattern_stride  (Algorithm 1 line 16)
+//	RSP: VPN_A + (i+j)·1                 (Algorithm 2 line 12)
+//
+// where j ∈ [0, Intensity). Pages falling outside the valid VPN range
+// are skipped.
+func (t *Trainer) build(idx int, tier Tier, vpn memsim.VPN, unit, offset int64, k int, fixed int64) (Prediction, bool) {
+	e := &t.entries[idx]
+	pages := make([]memsim.VPN, 0, k)
+	for j := 0; j < k; j++ {
+		target := int64(vpn) + fixed + (offset+int64(j))*unit
+		if target <= 0 || target > int64(memsim.MaxVPN) {
+			continue
+		}
+		pages = append(pages, memsim.VPN(target))
+	}
+	if len(pages) == 0 {
+		return Prediction{}, false
+	}
+	return Prediction{
+		Stream: StreamRef{Index: idx, Gen: e.gen},
+		Tier:   tier,
+		PID:    e.pid,
+		Pages:  pages,
+	}, true
+}
+
+// Feedback applies timeliness feedback to a stream's prefetch offset
+// (§III-E): T below T_min means the page barely made it — prefetch
+// further ahead (i ← i·(1+α)); T above T_max means it sat idle too long
+// — pull in (i ← i·(1−α)).
+func (t *Trainer) Feedback(ref StreamRef, lead vclock.Duration) {
+	if !t.params.Policy.Adaptive {
+		return
+	}
+	if ref.Index < 0 || ref.Index >= len(t.entries) {
+		return
+	}
+	e := &t.entries[ref.Index]
+	if !e.valid || e.gen != ref.Gen {
+		return // stream was evicted and the slot reused
+	}
+	p := t.params.Policy
+	switch {
+	case lead < p.TMin:
+		e.offset *= 1 + p.Alpha
+		if e.offset > p.MaxOffset {
+			e.offset = p.MaxOffset
+		}
+		t.stats.OffsetRaises++
+	case lead > p.TMax:
+		e.offset *= 1 - p.Alpha
+		if e.offset < 1 {
+			e.offset = 1
+		}
+		t.stats.OffsetLowers++
+	}
+}
+
+// OffsetOf exposes a stream's current offset for tests and experiments.
+func (t *Trainer) OffsetOf(ref StreamRef) (float64, bool) {
+	if ref.Index < 0 || ref.Index >= len(t.entries) {
+		return 0, false
+	}
+	e := &t.entries[ref.Index]
+	if !e.valid || e.gen != ref.Gen {
+		return 0, false
+	}
+	return e.offset, true
+}
+
+// LiveStreams returns how many STT entries are valid.
+func (t *Trainer) LiveStreams() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

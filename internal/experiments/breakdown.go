@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hopp/internal/sim"
+	"hopp/internal/vclock"
+	"hopp/internal/vmm"
+	"hopp/internal/workload"
+)
+
+// Breakdown regenerates the §II-A swap-operation cost breakdown: the
+// model constants side by side with the paper's numbers, then the
+// end-to-end latencies measured from a live run (which add the fabric's
+// dynamic queueing on top of the constants).
+func Breakdown(o Options) ([]Table, error) {
+	c := vmm.DefaultCosts()
+	model := Table{
+		Title:  "§II-A: kernel swap path cost model",
+		Header: []string{"Step", "Paper", "Model"},
+		Rows: [][]string{
+			{"(1) page fault context switch", "0.3 µs", c.ContextSwitch.String()},
+			{"(2) page table walk", "0.6 µs", c.PTEWalk.String()},
+			{"(3) swapcache query/alloc", "0.4 µs", c.SwapCacheOp.String()},
+			{"(4) 4 KB page over RDMA", "≈4 µs", "fabric model (base 3.4 µs + wire + queueing)"},
+			{"(5) reclaim per page", "2-5 µs (off critical path since v5.8)", c.ReclaimPerPage.String() + " (async)"},
+			{"(6) establish PTE, return", "1 µs", c.PTESet.String()},
+			{"prefetch-hit total (1+2+3+6)", "2.3 µs", c.PrefetchHit().String()},
+			{"DRAM-hit", "0.1 µs", c.DRAMHit.String()},
+		},
+		Note: "prefetch-hit is ≥23x a DRAM hit — the §II-C overhead early PTE injection removes",
+	}
+
+	gen := workload.NewSequential(o.scale(2048), 3)
+	met, err := o.runOne(sim.Fastswap(), gen, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	measured := Table{
+		Title:  "Measured end-to-end latencies (Fastswap on a sequential scan, 50% local)",
+		Header: []string{"Path", "Count", "Mean latency"},
+	}
+	if met.MajorFaults > 0 {
+		measured.Rows = append(measured.Rows, []string{
+			"demand major fault", fmt.Sprintf("%d", met.MajorFaults),
+			(met.FaultStall / vclock.Duration(met.MajorFaults)).String(),
+		})
+	}
+	if hits := met.SwapCacheHits + met.LateHits; hits > 0 {
+		measured.Rows = append(measured.Rows, []string{
+			"prefetch-hit (swapcache)", fmt.Sprintf("%d", hits),
+			(met.PrefetchStall / vclock.Duration(hits)).String(),
+		})
+	}
+	measured.Note = "paper: worst-case fault 8.3-11.3 µs on the critical path; prefetch-hit 2.3 µs"
+	return []Table{model, measured}, nil
+}

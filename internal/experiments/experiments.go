@@ -1,0 +1,196 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each experiment is a pure function of an Options
+// value; results come back as printable Tables whose rows mirror the
+// series the paper plots. The per-experiment index lives in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hopp/internal/sim"
+	"hopp/internal/workload"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks workloads ~4x for benches and CI.
+	Quick bool
+}
+
+// Table is one printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note carries the paper-expectation commentary printed under the table.
+	Note string
+}
+
+// Fprint renders the table with aligned columns.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "-- %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one regenerable table/figure.
+type Experiment struct {
+	// ID is the flag value, e.g. "table2", "fig9".
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) ([]Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"breakdown", "§II-A swap path cost breakdown (model vs measured)", Breakdown},
+		{"table2", "Hot pages / memory accesses vs HPD threshold N", Table2},
+		{"table3", "RPT cache hit rate vs cache size", Table3},
+		{"table4", "Workload inventory (scaled)", Table4},
+		{"table5", "HPD and RPT bandwidth overhead", Table5},
+		{"fig1", "Leap's majority prefetcher vs interleaved streams", Fig1},
+		{"fig2", "Ladder stream pattern and LSP identification", Fig2},
+		{"fig3", "Ripple stream pattern and RSP identification", Fig3},
+		{"fig9", "Normalized performance, non-JVM, 50%/25% local memory", Fig9},
+		{"fig10", "Prefetch accuracy, non-JVM workloads", Fig10},
+		{"fig11", "Prefetch coverage (swapcache vs DRAM hit), non-JVM", Fig11},
+		{"fig12", "Normalized performance, Spark workloads", Fig12},
+		{"fig13", "Prefetch accuracy, Spark workloads", Fig13},
+		{"fig14", "Prefetch coverage, Spark workloads", Fig14},
+		{"fig15", "Speedup with multiple applications running together", Fig15},
+		{"fig16", "Depth-16/32 vs Fastswap vs HoPP normalized performance", Fig16},
+		{"fig17", "Normalized remote accesses of the four systems", Fig17},
+		{"fig18", "Speedup as prefetch tiers are added (SSP → +LSP → +RSP)", Fig18},
+		{"fig19", "Per-tier prefetch accuracy", Fig19},
+		{"fig20", "Per-tier coverage contribution", Fig20},
+		{"fig21", "Accuracy/coverage vs normalized performance", Fig21},
+		{"fig22", "Technique ablation on the two-thread add-up microbenchmark", Fig22},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// scale shrinks a size under -quick.
+func (o Options) scale(n int) int {
+	if o.Quick {
+		n /= 4
+		if n < 64 {
+			n = 64
+		}
+	}
+	return n
+}
+
+// NonJVMWorkloads builds the scaled non-JVM suite of Table IV (§VI-B).
+func NonJVMWorkloads(o Options) []workload.Generator {
+	return []workload.Generator{
+		workload.NewOMPKMeans(o.scale(3072), 3),
+		workload.NewQuicksort(o.scale(3072)),
+		workload.NewHPL(o.hplCols(), 96),
+		workload.NewNPBCG(o.scale(3072), 2),
+		workload.NewNPBFT(o.scale(2048)),
+		workload.NewNPBLU(24, o.scale(3072)/24, 2),
+		workload.NewNPBMG(o.scale(2048), 2),
+		workload.NewNPBIS(o.scale(2048)),
+	}
+}
+
+// SparkWorkloads builds the scaled Spark suite of Table IV.
+func SparkWorkloads(o Options) []workload.Generator {
+	return []workload.Generator{
+		workload.NewGraphX("BFS", o.scale(768)),
+		workload.NewGraphX("CC", o.scale(768)),
+		workload.NewGraphX("PR", o.scale(768)),
+		workload.NewGraphX("LP", o.scale(768)),
+		workload.NewSparkKMeans(o.scale(2048)),
+		workload.NewSparkBayes(o.scale(2048)),
+	}
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// simConfig builds the machine config for an experiment run. Quick mode
+// shrinks the cache hierarchy along with the footprints so the paper's
+// footprint ≫ LLC regime is preserved at every scale.
+func (o Options) simConfig(frac float64) sim.Config {
+	cfg := sim.Config{LocalMemoryFrac: frac, Seed: o.Seed}
+	if o.Quick {
+		cfg.L2Bytes = 64 << 10
+		cfg.LLCBytes = 512 << 10
+	}
+	return cfg
+}
+
+// compareAll runs one workload under several systems plus local.
+func (o Options) compareAll(gen workload.Generator, frac float64, systems ...sim.System) (sim.Comparison, error) {
+	return sim.CompareWith(o.simConfig(frac), gen, systems...)
+}
+
+// runOne runs one workload under one system.
+func (o Options) runOne(sys sim.System, gen workload.Generator, frac float64) (sim.Metrics, error) {
+	return sim.RunWith(o.simConfig(frac), sys, gen)
+}
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hplCols picks the HPL matrix width; columns stay 96 pages tall so
+// sub-streams remain longer than the STT history window at every scale.
+func (o Options) hplCols() int {
+	if o.Quick {
+		return 16
+	}
+	return 32
+}

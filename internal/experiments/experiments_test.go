@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Seed: 1, Quick: true} }
+
+// cell parses a table cell as a float, stripping a trailing %.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func runExp(t *testing.T, id string) []Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	tables, err := e.Run(quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s returned no tables", id)
+	}
+	return tables
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"breakdown",
+		"table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"fig21", "fig22",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := Table{
+		Title:  "T",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+		Note:   "note",
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "xxxxx", "bbbb", "-- note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// Table II shape: the hot-page ratio must never rise with N, and must
+// strictly fall for at least one workload.
+func TestTable2Shape(t *testing.T) {
+	tab := runExp(t, "table2")[0]
+	fell := false
+	for _, row := range tab.Rows {
+		for i := 2; i < len(row); i++ {
+			a, b := cell(t, row[i-1]), cell(t, row[i])
+			if b > a+0.01 {
+				t.Fatalf("%s: ratio rose from %v to %v", row[0], row[i-1], row[i])
+			}
+			if b < a-0.01 {
+				fell = true
+			}
+		}
+	}
+	if !fell {
+		t.Fatal("hot-page ratio never fell with N")
+	}
+}
+
+// Table III shape: hit rate non-decreasing in size; ≥0.99 at 64KB.
+func TestTable3Shape(t *testing.T) {
+	tab := runExp(t, "table3")[0]
+	for _, row := range tab.Rows {
+		for i := 2; i < len(row); i++ {
+			if cell(t, row[i]) < cell(t, row[i-1])-0.02 {
+				t.Fatalf("%s: hit rate fell: %v", row[0], row)
+			}
+		}
+		if last := cell(t, row[len(row)-1]); last < 0.99 {
+			t.Fatalf("%s: 64KB hit rate %v < 0.99", row[0], last)
+		}
+	}
+}
+
+// Table V shape: HPD bandwidth small but nonzero; RPT far smaller.
+func TestTable5Shape(t *testing.T) {
+	tab := runExp(t, "table5")[0]
+	for _, row := range tab.Rows {
+		hpdBW, rptBW := cell(t, row[1]), cell(t, row[2])
+		if hpdBW <= 0 || hpdBW > 1.0 {
+			t.Fatalf("%s: HPD bandwidth %v%% out of (0,1]", row[0], hpdBW)
+		}
+		if rptBW > hpdBW {
+			t.Fatalf("%s: RPT bandwidth above HPD", row[0])
+		}
+	}
+}
+
+// Fig. 1 shape: HoPP's coverage beats Fastswap's beats Leap's on the
+// intertwined microbenchmark.
+func TestFig1Shape(t *testing.T) {
+	tab := runExp(t, "fig1")[0]
+	cov := map[string]float64{}
+	for _, row := range tab.Rows {
+		cov[row[0]] = cell(t, row[2])
+	}
+	if !(cov["HoPP"] > cov["Fastswap"] && cov["Fastswap"] > cov["Leap"]) {
+		t.Fatalf("coverage ordering wrong: %v", cov)
+	}
+}
+
+// Fig. 9 shape: HoPP ≥ Fastswap on every row, at both memory limits,
+// and the averages degrade as memory shrinks.
+func TestFig9Shape(t *testing.T) {
+	tab := runExp(t, "fig9")[0]
+	for _, row := range tab.Rows {
+		f50, h50 := cell(t, row[1]), cell(t, row[2])
+		f25, h25 := cell(t, row[3]), cell(t, row[4])
+		if h50 < f50-0.02 || h25 < f25-0.02 {
+			t.Fatalf("%s: HoPP below Fastswap: %v", row[0], row)
+		}
+		if row[0] == "Average" {
+			if f25 > f50 || h25 > h50 {
+				t.Fatalf("averages improved with less memory: %v", row)
+			}
+		}
+	}
+}
+
+// Fig. 10 shape: HoPP's prefetcher accuracy ≥ 0.9 everywhere.
+func TestFig10Shape(t *testing.T) {
+	tab := runExp(t, "fig10")[0]
+	for _, row := range tab.Rows {
+		if acc := cell(t, row[2]); acc < 0.9 {
+			t.Fatalf("%s: HoPP accuracy %v < 0.9", row[0], acc)
+		}
+	}
+}
+
+// Fig. 11 shape: HoPP coverage beats Fastswap's on average and the
+// DRAM-hit share dominates the swapcache share overall.
+func TestFig11Shape(t *testing.T) {
+	tab := runExp(t, "fig11")[0]
+	var fast, hopp, dram, swapc float64
+	for _, row := range tab.Rows {
+		fast += cell(t, row[1])
+		hopp += cell(t, row[2])
+		dram += cell(t, row[3])
+		swapc += cell(t, row[4])
+	}
+	if hopp <= fast {
+		t.Fatalf("HoPP total coverage %v not above Fastswap %v", hopp, fast)
+	}
+	if dram <= swapc {
+		t.Fatalf("DRAM-hit share %v not dominant over swapcache %v", dram, swapc)
+	}
+}
+
+// Fig. 12 shape: HoPP ≥ Fastswap on the Spark average.
+func TestFig12Shape(t *testing.T) {
+	tab := runExp(t, "fig12")[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Average" {
+		t.Fatal("missing Average row")
+	}
+	if cell(t, last[2]) <= cell(t, last[1]) {
+		t.Fatalf("Spark average: HoPP %v not above Fastswap %v", last[2], last[1])
+	}
+}
+
+// Fig. 13 shape: HoPP prefetcher accuracy ≥ 0.9 on Spark too, and above
+// Fastswap's on every row.
+func TestFig13Shape(t *testing.T) {
+	tab := runExp(t, "fig13")[0]
+	for _, row := range tab.Rows {
+		f, h := cell(t, row[1]), cell(t, row[2])
+		if h < 0.9 {
+			t.Fatalf("%s: HoPP accuracy %v < 0.9", row[0], h)
+		}
+		if h < f {
+			t.Fatalf("%s: HoPP accuracy below Fastswap", row[0])
+		}
+	}
+}
+
+// Fig. 16 shape: HoPP has the best average; Depth-N loses to Fastswap
+// somewhere (the paper's NPB-MG effect).
+func TestFig16Shape(t *testing.T) {
+	tab := runExp(t, "fig16")[0]
+	var sums [4]float64
+	depthLosesSomewhere := false
+	for _, row := range tab.Rows {
+		for i := 0; i < 4; i++ {
+			sums[i] += cell(t, row[i+1])
+		}
+		if cell(t, row[1]) < cell(t, row[3]) || cell(t, row[2]) < cell(t, row[3]) {
+			depthLosesSomewhere = true
+		}
+	}
+	best := 3 // HoPP column
+	for i := 0; i < 3; i++ {
+		if sums[i] > sums[best] {
+			best = i
+		}
+	}
+	if best != 3 {
+		t.Fatalf("HoPP is not the best of four on average: %v", sums)
+	}
+	if !depthLosesSomewhere {
+		t.Fatal("Depth-N never lost to Fastswap; pollution effect missing")
+	}
+}
+
+// Fig. 18 shape: adding tiers never slows a workload down materially,
+// and helps somewhere.
+func TestFig18Shape(t *testing.T) {
+	tab := runExp(t, "fig18")[0]
+	helped := false
+	for _, row := range tab.Rows {
+		ssp, all := cell(t, row[1]), cell(t, row[3])
+		if all < ssp-1.0 {
+			t.Fatalf("%s: full cascade slower than SSP alone: %v", row[0], row)
+		}
+		if all > ssp+1.0 {
+			helped = true
+		}
+	}
+	if !helped {
+		t.Fatal("LSP/RSP never helped")
+	}
+}
+
+// Fig. 19 shape: every reported tier accuracy ≥ 0.9.
+func TestFig19Shape(t *testing.T) {
+	tab := runExp(t, "fig19")[0]
+	for _, row := range tab.Rows {
+		for _, c := range row[1:] {
+			if c == "-" {
+				continue
+			}
+			if cell(t, c) < 0.9 {
+				t.Fatalf("%s: tier accuracy %v < 0.9", row[0], c)
+			}
+		}
+	}
+}
+
+// Fig. 22 shape: Leap below Fastswap; adaptive HoPP near the top.
+func TestFig22Shape(t *testing.T) {
+	tab := runExp(t, "fig22")[0]
+	speedup := map[string]float64{}
+	for _, row := range tab.Rows {
+		speedup[row[0]] = cell(t, row[1])
+	}
+	if speedup["Leap"] >= 0 {
+		t.Fatalf("Leap speedup %v should be negative", speedup["Leap"])
+	}
+	if speedup["HoPP"] < 5 {
+		t.Fatalf("HoPP speedup %v too small", speedup["HoPP"])
+	}
+	if speedup["HoPP"] < speedup["HoPP(offset=1K)"] {
+		t.Fatal("adaptive HoPP lost to the far-fixed offset")
+	}
+}
+
+// The remaining experiments must at least run and produce rows.
+func TestRemainingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"table4", "fig2", "fig3", "fig14", "fig15", "fig17", "fig20", "fig21"} {
+		for _, tab := range runExp(t, id) {
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table %q", id, tab.Title)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hopp/internal/sim"
+	"hopp/internal/workload"
+)
+
+// fig16Workloads is the NPB-centred suite of Figs. 16–17.
+func fig16Workloads(o Options) []workload.Generator {
+	return []workload.Generator{
+		workload.NewNPBCG(o.scale(3072), 2),
+		workload.NewNPBFT(o.scale(2048)),
+		workload.NewNPBLU(24, o.scale(3072)/24, 2),
+		workload.NewNPBMG(o.scale(2048), 2),
+		workload.NewNPBIS(o.scale(2048)),
+		workload.NewOMPKMeans(o.scale(3072), 3),
+		workload.NewGraphX("BFS", o.scale(768)),
+		workload.NewGraphX("CC", o.scale(768)),
+	}
+}
+
+// Fig16 regenerates the Depth-N comparison: fixed-depth early PTE
+// injection does not reliably beat Fastswap, while HoPP does.
+func Fig16(o Options) ([]Table, error) {
+	t := Table{
+		Title:  "Fig. 16: normalized performance of Depth-16, Depth-32, Fastswap, HoPP (50% local)",
+		Header: []string{"Workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"},
+		Note:   "paper: Depth-N loses to Fastswap on some workloads (e.g. NPB-MG); HoPP is the best of the four",
+	}
+	for _, g := range fig16Workloads(o) {
+		cmp, err := o.compareAll(g, 0.5, sim.DepthN(16), sim.DepthN(32), sim.Fastswap(), sim.HoPP())
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s: %w", g.Name(), err)
+		}
+		t.Rows = append(t.Rows, []string{
+			cmp.Workload,
+			f3(cmp.Normalized(0)), f3(cmp.Normalized(1)),
+			f3(cmp.Normalized(2)), f3(cmp.Normalized(3)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig17 regenerates the remote access study: demand remote reads of each
+// system normalized to a no-prefetch Fastswap run.
+func Fig17(o Options) ([]Table, error) {
+	t := Table{
+		Title:  "Fig. 17: remote accesses normalized to Fastswap-without-prefetching",
+		Header: []string{"Workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"},
+		Note:   "paper: Depth-N leaves the most remote accesses (rigid algorithm); HoPP need not have the fewest to win — early injection does the rest",
+	}
+	for _, g := range fig16Workloads(o) {
+		none, err := o.runOne(sim.NoPrefetch(), g, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{g.Name()}
+		for _, sys := range []sim.System{sim.DepthN(16), sim.DepthN(32), sim.Fastswap(), sim.HoPP()} {
+			met, err := o.runOne(sys, g, 0.5)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s/%s: %w", g.Name(), sys.Name, err)
+			}
+			row = append(row, f3(met.RemoteAccessRatio(none)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,211 @@
+// Package hpd implements the Hot Page Detection table of §III-B and
+// Fig. 5: a tiny set-associative structure inside the memory controller
+// that converts the cacheline-granularity LLC READ-miss stream into a
+// stream of hot physical pages.
+//
+// The default geometry matches the paper: a 16-way, 4-set table (64
+// concurrently tracked pages) with LRU replacement, using the lowest 2
+// bits of the PPN as set index, and a hot threshold of N = 8 of the 64
+// cachelines in a 4 KB page. A page whose entry carries the send bit is
+// dropped (repeated detection suppression) until the entry is evicted.
+package hpd
+
+import (
+	"fmt"
+
+	"hopp/internal/memsim"
+)
+
+// Config sets the table geometry and the hot threshold.
+type Config struct {
+	// Sets is the number of sets; the low log2(Sets) bits of the PPN
+	// select the set. Must be a power of two. Default 4.
+	Sets int
+	// Ways is the associativity. Default 16.
+	Ways int
+	// Threshold is N: accesses to a page before it is declared hot.
+	// Valid range is [1, 64] for 4 KB pages. Default 8 (§III-B).
+	Threshold int
+}
+
+// Default returns the paper's parameters.
+func Default() Config { return Config{Sets: 4, Ways: 16, Threshold: 8} }
+
+func (c *Config) fill() {
+	if c.Sets == 0 {
+		c.Sets = 4
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 8
+	}
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("hpd: sets must be a power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("hpd: ways must be positive, got %d", c.Ways)
+	}
+	if c.Threshold < 1 || c.Threshold > memsim.LinesPerPage {
+		return fmt.Errorf("hpd: threshold must be in [1,%d], got %d", memsim.LinesPerPage, c.Threshold)
+	}
+	return nil
+}
+
+// Stats counts table activity, the raw material for Table II's
+// hot-pages/accesses ratio and Table V's bandwidth estimate.
+type Stats struct {
+	// Accesses is the number of READ LLC misses fed to the table.
+	Accesses uint64
+	// HotPages is the number of hot-page extractions emitted.
+	HotPages uint64
+	// Insertions is the number of new entries installed.
+	Insertions uint64
+	// Evictions is the number of valid entries replaced by LRU.
+	Evictions uint64
+	// SendSuppressed is the number of accesses dropped because the
+	// entry's send bit was already set.
+	SendSuppressed uint64
+	// EvictedBeforeHot counts evicted entries that never reached the
+	// threshold — the coarseness cost of a large N (§III-B).
+	EvictedBeforeHot uint64
+}
+
+// HotRatio returns HotPages/Accesses, the Table II metric.
+func (s Stats) HotRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.HotPages) / float64(s.Accesses)
+}
+
+type entry struct {
+	ppn   memsim.PPN
+	count int
+	send  bool
+	valid bool
+	tick  uint64
+}
+
+// Table is the hot page detection table.
+type Table struct {
+	cfg   Config
+	sets  [][]entry
+	mask  uint64
+	tick  uint64
+	stats Stats
+}
+
+// New builds a table. It returns an error on invalid geometry so
+// experiment sweeps can probe bad configs without panicking.
+func New(cfg Config) (*Table, error) {
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]entry, cfg.Sets)
+	backing := make([]entry, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Table{cfg: cfg, sets: sets, mask: uint64(cfg.Sets - 1)}, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the effective configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Access feeds one READ LLC miss to the table and reports whether this
+// access crossed the hot threshold, i.e. whether the PPN should be
+// forwarded to the RPT cache. WRITE misses must be filtered out by the
+// caller (§III-B omits WRITEs).
+func (t *Table) Access(ppn memsim.PPN) (hot bool) {
+	t.tick++
+	t.stats.Accesses++
+	set := t.sets[uint64(ppn)&t.mask]
+
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.ppn == ppn {
+			e.tick = t.tick
+			if e.send {
+				t.stats.SendSuppressed++
+				return false
+			}
+			e.count++
+			if e.count >= t.cfg.Threshold {
+				e.send = true
+				t.stats.HotPages++
+				return true
+			}
+			return false
+		}
+	}
+	v := &set[t.pickVictim(set)]
+	if v.valid {
+		t.stats.Evictions++
+		if !v.send {
+			t.stats.EvictedBeforeHot++
+		}
+	}
+	*v = entry{ppn: ppn, count: 1, valid: true, tick: t.tick}
+	t.stats.Insertions++
+	if t.cfg.Threshold == 1 {
+		v.send = true
+		t.stats.HotPages++
+		return true
+	}
+	return false
+}
+
+func (t *Table) pickVictim(set []entry) int {
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].tick < set[victim].tick {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// Tracked returns how many valid entries the table currently holds.
+func (t *Table) Tracked() int {
+	n := 0
+	for _, set := range t.sets {
+		for _, e := range set {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset clears entries and counters.
+func (t *Table) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+	t.stats = Stats{}
+	t.tick = 0
+}

@@ -1,0 +1,243 @@
+// Package mc assembles HoPP's modified memory controller (Fig. 4, steps
+// 1–2): LLC READ misses flow into the hot page detection table
+// (internal/hpd); pages crossing the hot threshold are translated by the
+// reverse page table cache (internal/rpt) into {PID, VPN} combos and
+// appended to the hot page area — a reserved DRAM ring the HoPP software
+// drains (step 3).
+//
+// The controller also keeps the bandwidth ledger behind Table V: every
+// observed miss moves one 64 B cacheline; every hot-page extraction
+// writes one 8 B combo record; every RPT cache miss/writeback moves one
+// 8 B entry to or from DRAM.
+package mc
+
+import (
+	"hopp/internal/hpd"
+	"hopp/internal/memsim"
+	"hopp/internal/rpt"
+	"hopp/internal/vclock"
+)
+
+// HotPage is one record in the hot page area: the output of the hardware
+// and the input of the prefetch training framework.
+type HotPage struct {
+	// Time is when the extraction happened. Real hardware conveys order
+	// implicitly; the simulator timestamps for timeliness accounting.
+	Time vclock.Time
+	PID  memsim.PID
+	VPN  memsim.VPN
+	// PPN is kept for diagnostics; the software side keys on PID+VPN.
+	PPN memsim.PPN
+	// Shared and Huge are forwarded from the RPT entry for the software
+	// to exploit (§III-C: "It is up to the software to use this
+	// information for better predictions").
+	Shared bool
+	Huge   rpt.HugeClass
+	// Mapped is false when the RPT had no valid entry for the PPN (e.g.
+	// a kernel page); the software drops such records.
+	Mapped bool
+}
+
+// HotRecordSize is the in-DRAM size of one hot page combo record.
+const HotRecordSize = 8
+
+// Config configures the controller.
+type Config struct {
+	// HPD is the hot page detection geometry (defaults per §III-B).
+	HPD hpd.Config
+	// RPTCache is the RPT cache geometry (defaults per §III-C).
+	RPTCache rpt.CacheConfig
+	// BufferCap is the hot page area capacity in records; when the
+	// software falls behind, the oldest records are overwritten.
+	// Default 1 << 16.
+	BufferCap int
+}
+
+// Stats is the controller's bandwidth and event ledger.
+type Stats struct {
+	// ReadMisses and WriteMisses count LLC misses observed, by kind.
+	ReadMisses  uint64
+	WriteMisses uint64
+	// HotEmitted counts hot page records appended to the hot page area.
+	HotEmitted uint64
+	// HotUnmapped counts hot pages whose RPT entry was invalid.
+	HotUnmapped uint64
+	// Dropped counts hot records lost to buffer overwrite.
+	Dropped uint64
+	// MissBytes is total LLC-miss traffic (64 B per miss, both kinds).
+	MissBytes uint64
+	// HotBytes is traffic from writing hot page combos (8 B each).
+	HotBytes uint64
+	// RPTBytes is traffic from RPT cache fills and writebacks.
+	RPTBytes uint64
+}
+
+// HPDBandwidthRatio is extra bandwidth spent writing hot pages relative
+// to the application's own memory traffic — Table V "HPD" row.
+func (s Stats) HPDBandwidthRatio() float64 {
+	if s.MissBytes == 0 {
+		return 0
+	}
+	return float64(s.HotBytes) / float64(s.MissBytes)
+}
+
+// RPTBandwidthRatio is extra bandwidth spent on RPT DRAM queries —
+// Table V "RPT" row.
+func (s Stats) RPTBandwidthRatio() float64 {
+	if s.MissBytes == 0 {
+		return 0
+	}
+	return float64(s.RPTBytes) / float64(s.MissBytes)
+}
+
+// Controller is the modified memory controller.
+type Controller struct {
+	hpd      *hpd.Table
+	rptTable *rpt.Table
+	rptCache *rpt.Cache
+
+	buf   []HotPage
+	head  int
+	tail  int
+	count int
+
+	stats Stats
+
+	rptBytesBase uint64
+}
+
+// New builds a controller; zero-valued config fields take the paper's
+// defaults.
+func New(cfg Config) (*Controller, error) {
+	table, err := hpd.New(cfg.HPD)
+	if err != nil {
+		return nil, err
+	}
+	rptTable := rpt.NewTable()
+	cache, err := rpt.NewCache(rptTable, cfg.RPTCache)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BufferCap <= 0 {
+		cfg.BufferCap = 1 << 16
+	}
+	return &Controller{
+		hpd:      table,
+		rptTable: rptTable,
+		rptCache: cache,
+		buf:      make([]HotPage, cfg.BufferCap),
+	}, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ObserveMiss feeds one LLC miss to the controller. Both READ and WRITE
+// misses reach HPD, because a write miss first fetches the line — "a
+// WRITE-miss operation will first generate a READ trace" (§III-B). What
+// the design omits is the deferred WRITE (writeback) traffic, which the
+// simulation does not route through ObserveMiss at all; RDMA-completion
+// DMA writes likewise bypass it.
+func (c *Controller) ObserveMiss(now vclock.Time, pa memsim.PAddr, write bool) {
+	c.stats.MissBytes += memsim.LineSize
+	if write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+	ppn := pa.Page()
+	if !c.hpd.Access(ppn) {
+		return
+	}
+	entry := c.rptCache.Lookup(ppn)
+	c.accountRPT()
+	hp := HotPage{
+		Time:   now,
+		PID:    entry.PID,
+		VPN:    entry.VPN,
+		PPN:    ppn,
+		Shared: entry.Shared,
+		Huge:   entry.Huge,
+		Mapped: entry.Valid,
+	}
+	if !entry.Valid {
+		c.stats.HotUnmapped++
+	}
+	c.push(hp)
+	c.stats.HotEmitted++
+	c.stats.HotBytes += HotRecordSize
+}
+
+func (c *Controller) accountRPT() {
+	total := c.rptTable.DRAMBytes()
+	c.stats.RPTBytes = total - c.rptBytesBase
+}
+
+func (c *Controller) push(hp HotPage) {
+	if c.count == len(c.buf) {
+		c.tail = (c.tail + 1) % len(c.buf)
+		c.count--
+		c.stats.Dropped++
+	}
+	c.buf[c.head] = hp
+	c.head = (c.head + 1) % len(c.buf)
+	c.count++
+}
+
+// Drain removes and returns up to max hot page records (all when
+// max <= 0), oldest first. This is the HoPP software's read of the hot
+// page area.
+func (c *Controller) Drain(max int) []HotPage {
+	n := c.count
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]HotPage, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.buf[c.tail])
+		c.tail = (c.tail + 1) % len(c.buf)
+	}
+	c.count -= n
+	return out
+}
+
+// Pending returns the number of undrained hot page records.
+func (c *Controller) Pending() int { return c.count }
+
+// Stats returns a copy of the ledger.
+func (c *Controller) Stats() Stats {
+	c.accountRPT()
+	return c.stats
+}
+
+// HPDStats exposes the hot page detection table's counters.
+func (c *Controller) HPDStats() hpd.Stats { return c.hpd.Stats() }
+
+// RPTCacheStats exposes the RPT cache's counters.
+func (c *Controller) RPTCacheStats() rpt.CacheStats { return c.rptCache.Stats() }
+
+// SetMapping is the kernel maintenance hook for PTE establishment
+// (set_pte_at / set_pmd_at in §V): it records PPN → {PID, VPN} in the
+// RPT via the cache.
+func (c *Controller) SetMapping(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN, shared bool, huge rpt.HugeClass) {
+	c.rptCache.Update(ppn, rpt.Entry{PID: pid, VPN: vpn, Shared: shared, Huge: huge, Valid: true})
+}
+
+// ClearMapping is the pte_clear / pmd_clear hook.
+func (c *Controller) ClearMapping(ppn memsim.PPN) {
+	c.rptCache.Invalidate(ppn)
+}
+
+// Preload bulk-builds the RPT directly in DRAM, modelling HoPP's startup
+// traversal of all existing page tables (§III-C). The traffic for this
+// one-time build is excluded from the steady-state bandwidth ledger.
+func (c *Controller) Preload(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN) {
+	c.rptTable.Store(ppn, rpt.Entry{PID: pid, VPN: vpn, Valid: true}.Pack())
+	c.rptBytesBase = c.rptTable.DRAMBytes()
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"hopp/internal/rdma"
+	"hopp/internal/vclock"
+	"hopp/internal/vmm"
+	"hopp/internal/workload"
+)
+
+// TestSynchronousReclaimSlowsFaults recreates the pre-Linux-v5.8 regime
+// of §II-A: charging step (5) on the faulting path lengthens completion.
+func TestSynchronousReclaimSlowsFaults(t *testing.T) {
+	gen := workload.NewSequential(1024, 3)
+	modern, err := RunWorkload(NoPrefetch(), gen, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := vmm.DefaultCosts()
+	costs.SynchronousReclaim = true
+	old, err := RunWith(Config{System: NoPrefetch(), LocalMemoryFrac: 0.5, Seed: 1, Costs: costs}, NoPrefetch(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.CompletionTime <= modern.CompletionTime {
+		t.Fatalf("synchronous reclaim did not slow the run: %v vs %v",
+			old.CompletionTime, modern.CompletionTime)
+	}
+	// The per-fault delta is ≈ victims × 2.5 µs; with one victim per
+	// fault it must be visible but bounded.
+	perFault := (old.CompletionTime - modern.CompletionTime) / vclock.Duration(old.MajorFaults)
+	if perFault < vclock.Microsecond || perFault > 10*vclock.Microsecond {
+		t.Fatalf("per-fault reclaim cost %v implausible", perFault)
+	}
+}
+
+// TestSlowFabricHurtsEveryone injects a 10x slower, jittery link: all
+// systems degrade, and HoPP still leads (its asynchrony hides latency
+// but cannot beat physics).
+func TestSlowFabricHurtsEveryone(t *testing.T) {
+	gen := workload.NewSequential(1024, 3)
+	slow := rdma.Config{BaseLatency: 34 * vclock.Microsecond, BytesPerNS: 0.7, JitterFrac: 0.5}
+
+	fastFabric, err := RunWorkload(HoPP(), gen, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowHopp, err := RunWith(Config{System: HoPP(), LocalMemoryFrac: 0.5, Seed: 1, Fabric: slow}, HoPP(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowFast, err := RunWith(Config{System: Fastswap(), LocalMemoryFrac: 0.5, Seed: 1, Fabric: slow}, Fastswap(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowHopp.CompletionTime <= fastFabric.CompletionTime {
+		t.Fatal("10x slower fabric did not slow HoPP")
+	}
+	if slowHopp.CompletionTime >= slowFast.CompletionTime {
+		t.Fatalf("HoPP (%v) lost to Fastswap (%v) on the slow fabric",
+			slowHopp.CompletionTime, slowFast.CompletionTime)
+	}
+}
+
+// TestOffsetAdaptsToSlowFabric: on a slow link, the adaptive offset must
+// end up larger than on a fast one — the §III-E timeliness loop reacting
+// to latency volatility.
+func TestOffsetAdaptsToSlowFabric(t *testing.T) {
+	gen := workload.NewSequential(2048, 3)
+	run := func(fabric rdma.Config) uint64 {
+		m := MustNew(Config{System: HoPP(), LocalMemoryFrac: 0.5, Seed: 1, Fabric: fabric}, gen)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ts, _ := m.HoPPTrainerStats()
+		return ts.OffsetRaises
+	}
+	fastRaises := run(rdma.Config{})
+	slowRaises := run(rdma.Config{BaseLatency: 34 * vclock.Microsecond, BytesPerNS: 0.7})
+	if slowRaises <= fastRaises {
+		t.Fatalf("slow fabric raised the offset %d times, fast %d — controller not reacting",
+			slowRaises, fastRaises)
+	}
+}
+
+// TestCustomCostModelPlumbs verifies nonstandard cost constants reach
+// the fault path (a 10x prefetch-hit cost shows up in completion time).
+func TestCustomCostModelPlumbs(t *testing.T) {
+	gen := workload.NewSequential(1024, 2)
+	cheap, err := RunWorkload(Fastswap(), gen, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := vmm.DefaultCosts()
+	costs.SwapCacheOp *= 20
+	dear, err := RunWith(Config{System: Fastswap(), LocalMemoryFrac: 0.5, Seed: 1, Costs: costs}, Fastswap(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.CompletionTime <= cheap.CompletionTime {
+		t.Fatal("inflated swapcache cost had no effect")
+	}
+}

@@ -1,0 +1,640 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hopp/internal/cachesim"
+	"hopp/internal/core"
+	"hopp/internal/mc"
+	"hopp/internal/memsim"
+	"hopp/internal/proto"
+	"hopp/internal/rdma"
+	"hopp/internal/swap"
+	"hopp/internal/vclock"
+	"hopp/internal/vmm"
+	"hopp/internal/workload"
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	// System is the remote-memory system under test.
+	System System
+	// Costs is the kernel cost model; zero value takes DefaultCosts.
+	Costs vmm.Costs
+	// Fabric configures the RDMA link.
+	Fabric rdma.Config
+	// MC configures the memory controller hardware (HoPP systems).
+	MC mc.Config
+	// MCChannels runs a bank of memory controllers (§III-B "impact of
+	// multiple memory channels"). 0 or 1 = single controller.
+	MCChannels int
+	// MCInterleaved spreads a page's cachelines across the channels
+	// (with the per-channel HPD threshold reduced accordingly).
+	MCInterleaved bool
+	// UsePrototype replaces the §III MC hardware with the §V prototype:
+	// HMTT full-trace capture feeding a software HPD. Ignores MCChannels.
+	UsePrototype bool
+	// Proto configures the prototype pipeline when UsePrototype is set.
+	Proto proto.Config
+	// L2Bytes/LLCBytes size the cache hierarchy. Defaults 256 KB / 2 MB —
+	// scaled with the workload footprints so streaming behaviour matches
+	// the paper's GB-footprints-vs-35MB-LLC regime.
+	L2Bytes  int
+	LLCBytes int
+	// LocalMemoryFrac limits each app's cgroup to this fraction of its
+	// footprint (the paper's 50%/25% configurations). 0 = unlimited
+	// (the local baseline run).
+	LocalMemoryFrac float64
+	// LocalMemoryPages overrides the per-app limit absolutely when > 0.
+	LocalMemoryPages int
+	// HoPPSoftwareDelay is the hot-page-to-fetch-issue software latency.
+	// Default 1 µs.
+	HoPPSoftwareDelay vclock.Duration
+	// LazyLRU switches the VMM to kernel-realistic approximate recency
+	// (no LRU refresh on ordinary touches); see vmm.Config.LazyLRU.
+	LazyLRU bool
+	// Seed drives workload randomness and fabric jitter.
+	Seed int64
+	// MaxAccesses aborts runaway runs. Default 200M.
+	MaxAccesses uint64
+}
+
+func (c *Config) fill() {
+	if c.Costs == (vmm.Costs{}) {
+		c.Costs = vmm.DefaultCosts()
+	}
+	if c.L2Bytes == 0 {
+		c.L2Bytes = 256 << 10
+	}
+	if c.LLCBytes == 0 {
+		c.LLCBytes = 2 << 20
+	}
+	if c.HoPPSoftwareDelay == 0 {
+		c.HoPPSoftwareDelay = vclock.Microsecond
+	}
+	if c.MaxAccesses == 0 {
+		c.MaxAccesses = 200_000_000
+	}
+	if c.Fabric.Seed == 0 {
+		c.Fabric.Seed = c.Seed + 7777
+	}
+}
+
+type appState struct {
+	pid      memsim.PID
+	gen      workload.Generator
+	regions  []workload.Region
+	now      vclock.Time
+	done     bool
+	finished vclock.Time
+}
+
+type inflightFetch struct {
+	arrival vclock.Time
+	inject  bool
+	// onInjected is HoPP's execution-engine callback (nil for demand-path
+	// prefetchers).
+	onInjected func(vclock.Time)
+}
+
+// Machine is one simulated compute node plus its remote memory node.
+type Machine struct {
+	cfg    Config
+	costs  vmm.Costs
+	vm     *vmm.VMM
+	fabric *rdma.Fabric
+	remote *rdma.Node
+	caches *cachesim.Hierarchy
+
+	mcCtl     mc.Tracker       // nil unless System.HoPP
+	pref      *core.Prefetcher // nil unless System.HoPP
+	faultPref swap.Prefetcher  // nil for NoPrefetch
+
+	queue    vclock.EventQueue
+	apps     []*appState
+	inflight map[memsim.PageKey]*inflightFetch
+
+	met Metrics
+}
+
+// New builds a machine running the given workloads (one process each,
+// PIDs 1..n) under cfg.System.
+func New(cfg Config, gens ...workload.Generator) (*Machine, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("sim: no workloads")
+	}
+	cfg.fill()
+	m := &Machine{
+		cfg:    cfg,
+		costs:  cfg.Costs,
+		fabric: rdma.NewFabric(cfg.Fabric),
+		remote: rdma.NewNode(0),
+		caches: cachesim.NewHierarchy(
+			cachesim.New(cachesim.Config{Name: "L2", SizeBytes: cfg.L2Bytes, Ways: 8}),
+			cachesim.New(cachesim.Config{Name: "LLC", SizeBytes: cfg.LLCBytes, Ways: 16}),
+		),
+		inflight: make(map[memsim.PageKey]*inflightFetch),
+	}
+	m.vm = vmm.New(vmm.Config{
+		ChargePrefetched: cfg.System.ChargePrefetched,
+		LazyLRU:          cfg.LazyLRU,
+	})
+	for i, g := range gens {
+		pid := memsim.PID(i + 1)
+		limit := 0
+		switch {
+		case cfg.LocalMemoryPages > 0:
+			limit = cfg.LocalMemoryPages
+		case cfg.LocalMemoryFrac > 0:
+			limit = int(math.Ceil(cfg.LocalMemoryFrac * float64(g.FootprintPages())))
+		}
+		if _, err := m.vm.Register(pid, limit); err != nil {
+			return nil, err
+		}
+		g.Reset(cfg.Seed + int64(i)*101)
+		m.apps = append(m.apps, &appState{pid: pid, gen: g, regions: g.Regions()})
+	}
+	if cfg.System.HoPP {
+		var ctl mc.Tracker
+		if cfg.UsePrototype {
+			pp, err := proto.New(cfg.Proto)
+			if err != nil {
+				return nil, err
+			}
+			ctl = pp
+		} else if cfg.MCChannels > 1 {
+			multi, err := mc.NewMulti(mc.MultiConfig{
+				Channels:    cfg.MCChannels,
+				Interleaved: cfg.MCInterleaved,
+				PerChannel:  cfg.MC,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ctl = multi
+		} else {
+			single, err := mc.New(cfg.MC)
+			if err != nil {
+				return nil, err
+			}
+			ctl = single
+		}
+		m.mcCtl = ctl
+		m.vm.OnSetPTE = func(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN) {
+			ctl.SetMapping(ppn, pid, vpn, m.sharedRegion(memsim.PageKey{PID: pid, VPN: vpn}), 0)
+		}
+		m.vm.OnClearPTE = ctl.ClearMapping
+		m.pref = core.NewPrefetcher(cfg.System.HoPPParams, (*hoppBackend)(m))
+		if cfg.System.HoPPParams.SmartEviction {
+			m.vm.Advisor = m.pref.RecentlyHot
+		}
+	}
+	if cfg.System.NewFault != nil {
+		m.faultPref = cfg.System.NewFault(m)
+	}
+	m.met.System = cfg.System.Name
+	m.met.PerApp = make(map[string]vclock.Duration)
+	return m, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config, gens ...workload.Generator) *Machine {
+	m, err := New(cfg, gens...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// sharedRegion reports whether the page lies in a region its workload
+// declared shared.
+func (m *Machine) sharedRegion(key memsim.PageKey) bool {
+	for _, a := range m.apps {
+		if a.pid != key.PID {
+			continue
+		}
+		for _, r := range a.regions {
+			if r.Contains(key.VPN) {
+				return r.Shared
+			}
+		}
+	}
+	return false
+}
+
+// Region implements swap.RegionResolver for the VMA prefetcher.
+func (m *Machine) Region(key memsim.PageKey) (memsim.VPN, memsim.VPN, bool) {
+	for _, a := range m.apps {
+		if a.pid != key.PID {
+			continue
+		}
+		for _, r := range a.regions {
+			if r.Contains(key.VPN) {
+				return r.Start, r.End(), true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Run executes every workload to completion and returns the metrics.
+func (m *Machine) Run() (Metrics, error) {
+	for {
+		var next *appState
+		for _, a := range m.apps {
+			if a.done {
+				continue
+			}
+			if next == nil || a.now.Before(next.now) {
+				next = a
+			}
+		}
+		if next == nil {
+			break
+		}
+		if err := m.step(next); err != nil {
+			return m.met, err
+		}
+		if m.met.Accesses > m.cfg.MaxAccesses {
+			return m.met, fmt.Errorf("sim: exceeded MaxAccesses=%d", m.cfg.MaxAccesses)
+		}
+	}
+	// Land any still-in-flight prefetches so accounting is complete.
+	m.queue.RunUntil(vclock.Time(math.MaxInt64))
+	m.finalize()
+	return m.met, nil
+}
+
+func (m *Machine) finalize() {
+	var maxT vclock.Time
+	for _, a := range m.apps {
+		m.met.PerApp[a.gen.Name()] = vclock.Duration(a.finished)
+		if a.finished.After(maxT) {
+			maxT = a.finished
+		}
+	}
+	m.met.CompletionTime = vclock.Duration(maxT)
+	if m.mcCtl != nil {
+		s := m.mcCtl.Stats()
+		m.met.HotPagesEmitted = s.HotEmitted
+		m.met.HPDBandwidth = s.HPDBandwidthRatio()
+		m.met.RPTBandwidth = s.RPTBandwidthRatio()
+		m.met.RPTCacheHitRate = m.mcCtl.RPTCacheStats().HitRate()
+	}
+	if m.pref != nil {
+		xs := m.pref.Exec.Stats()
+		m.met.IssuedByTier = xs.IssuedByTier
+		m.met.HitsByTier = xs.HitsByTier
+		m.met.MeanLead = xs.MeanLead()
+		m.met.LeadBuckets = xs.LeadBuckets
+		m.met.CoreAccuracy = xs.Accuracy()
+		m.met.HasCore = true
+	}
+}
+
+func (m *Machine) step(a *appState) error {
+	acc, ok := a.gen.Next()
+	if !ok {
+		a.done = true
+		a.finished = a.now
+		return nil
+	}
+	m.met.Accesses++
+	a.now = a.now.Add(acc.Think)
+	m.queue.RunUntil(a.now)
+
+	key := memsim.PageKey{PID: a.pid, VPN: acc.Addr.Page()}
+	switch m.vm.Lookup(key) {
+	case vmm.Mapped:
+		return m.accessMapped(a, key, acc)
+	case vmm.SwapCached:
+		return m.swapCacheHit(a, key, acc)
+	case vmm.SwappedOut:
+		return m.majorFault(a, key, acc)
+	default: // Untouched
+		return m.minorFault(a, key, acc)
+	}
+}
+
+func (m *Machine) accessMapped(a *appState, key memsim.PageKey, acc workload.Access) error {
+	injected := m.vm.IsInjected(key)
+	ppn, err := m.vm.Touch(key)
+	if err != nil {
+		return err
+	}
+	if injected {
+		m.met.InjectedHits++
+		if m.pref != nil {
+			m.pref.Exec.OnFirstHit(key, a.now)
+		}
+	}
+	m.memAccess(a, ppn, acc)
+	return nil
+}
+
+// memAccess models the hardware path of an access to a mapped page:
+// cache hierarchy, DRAM on LLC miss, and — on HoPP machines — the
+// memory controller's hot page pipeline.
+func (m *Machine) memAccess(a *appState, ppn memsim.PPN, acc workload.Access) {
+	line := int(uint64(acc.Addr)>>memsim.LineShift) & (memsim.LinesPerPage - 1)
+	pa := ppn.LineAddr(line)
+	if m.caches.Access(pa) == cachesim.LevelMemory {
+		m.met.DRAMHits++
+		a.now = a.now.Add(m.costs.DRAMHit)
+		if m.mcCtl != nil {
+			m.mcCtl.ObserveMiss(a.now, pa, acc.Write)
+			m.drainHotPages()
+		}
+	} else {
+		m.met.CacheHits++
+		a.now = a.now.Add(m.costs.CacheHit)
+	}
+}
+
+func (m *Machine) drainHotPages() {
+	for _, hp := range m.mcCtl.Drain(0) {
+		if !hp.Mapped {
+			continue // kernel or unmapped page; software drops it
+		}
+		m.pref.OnHotPage(hp.Time, hp.PID, hp.VPN, hp.Shared)
+	}
+}
+
+func (m *Machine) swapCacheHit(a *appState, key memsim.PageKey, acc workload.Access) error {
+	m.met.SwapCacheHits++
+	cost := m.costs.PrefetchHit()
+	m.met.PrefetchStall += cost
+	a.now = a.now.Add(cost)
+	ppn, err := m.vm.PromoteSwapCache(key)
+	if err != nil {
+		return err
+	}
+	m.reclaim(a, key.PID)
+	m.memAccess(a, ppn, acc)
+	return nil
+}
+
+func (m *Machine) majorFault(a *appState, key memsim.PageKey, acc workload.Access) error {
+	if inf, ok := m.inflight[key]; ok {
+		return m.lateHit(a, key, acc, inf)
+	}
+	m.met.MajorFaults++
+	if !m.remote.Read(key) {
+		return fmt.Errorf("sim: page %v swapped out but absent from remote node", key)
+	}
+	m.met.RemoteReads++
+	arrival := m.fabric.PageRead(a.now)
+	cost := m.costs.DemandFixed() + arrival.Sub(a.now)
+	m.met.FaultStall += cost
+	a.now = a.now.Add(cost)
+	ppn, err := m.vm.MapRemote(key, false)
+	if err != nil {
+		return err
+	}
+	m.reclaim(a, key.PID)
+	m.firePrefetcher(a, key)
+	m.memAccess(a, ppn, acc)
+	return nil
+}
+
+// lateHit is a demand fault absorbed by an in-flight prefetch: the
+// fault waits for the outstanding read instead of issuing its own.
+func (m *Machine) lateHit(a *appState, key memsim.PageKey, acc workload.Access, inf *inflightFetch) error {
+	wait := vclock.Duration(0)
+	if inf.arrival.After(a.now) {
+		wait = inf.arrival.Sub(a.now)
+	}
+	cost := wait + m.costs.PrefetchHit()
+	a.now = a.now.Add(cost)
+	m.queue.RunUntil(a.now) // fires the landing event
+	var ppn memsim.PPN
+	var err error
+	switch m.vm.Lookup(key) {
+	case vmm.SwapCached:
+		ppn, err = m.vm.PromoteSwapCache(key)
+		m.reclaim(a, key.PID)
+	case vmm.Mapped:
+		ppn, err = m.vm.Touch(key)
+	default:
+		// The landing was dropped or the page was reclaimed the instant
+		// it arrived (thrashing); fall back to a plain demand fetch.
+		m.met.PrefetchStall += cost
+		return m.majorFault(a, key, acc)
+	}
+	if err != nil {
+		return err
+	}
+	m.met.LateHits++
+	m.met.PrefetchStall += cost
+	if m.pref != nil {
+		m.pref.Exec.NoteLateHit(key, a.now)
+	}
+	m.memAccess(a, ppn, acc)
+	return nil
+}
+
+func (m *Machine) minorFault(a *appState, key memsim.PageKey, acc workload.Access) error {
+	m.met.MinorFault++
+	a.now = a.now.Add(m.costs.MinorFault)
+	ppn, err := m.vm.MapNew(key)
+	if err != nil {
+		return err
+	}
+	m.reclaim(a, key.PID)
+	m.memAccess(a, ppn, acc)
+	return nil
+}
+
+// firePrefetcher runs the demand-path prefetch policy after a major
+// fault and launches the resulting reads.
+func (m *Machine) firePrefetcher(a *appState, key memsim.PageKey) {
+	if m.faultPref == nil {
+		return
+	}
+	inject := m.faultPref.Inject()
+	for _, vpn := range m.faultPref.OnFault(a.now, key) {
+		k := memsim.PageKey{PID: key.PID, VPN: vpn}
+		if _, busy := m.inflight[k]; busy {
+			continue
+		}
+		if m.vm.Lookup(k) != vmm.SwappedOut || !m.remote.Has(k) {
+			continue
+		}
+		m.launchPrefetch(a.now, k, inject, nil)
+	}
+}
+
+// launchPrefetch issues one prefetch read and schedules its landing.
+func (m *Machine) launchPrefetch(now vclock.Time, k memsim.PageKey, inject bool, onInjected func(vclock.Time)) vclock.Time {
+	m.remote.Read(k)
+	m.met.RemoteReads++
+	m.met.PrefetchIssued++
+	arrival := m.fabric.PageRead(now)
+	inf := &inflightFetch{arrival: arrival, inject: inject, onInjected: onInjected}
+	m.inflight[k] = inf
+	m.queue.Schedule(arrival, func(t vclock.Time) { m.landPrefetch(k, inf, t) })
+	return arrival
+}
+
+func (m *Machine) landPrefetch(k memsim.PageKey, inf *inflightFetch, t vclock.Time) {
+	delete(m.inflight, k)
+	if m.vm.Lookup(k) != vmm.SwappedOut {
+		// The page was demand-fetched while we were in flight (possible
+		// only via the late-hit path racing the landing event at the
+		// same timestamp); drop the duplicate.
+		return
+	}
+	if inf.inject {
+		if _, err := m.vm.MapRemote(k, true); err != nil {
+			return
+		}
+		if inf.onInjected != nil {
+			inf.onInjected(t)
+		}
+	} else {
+		if _, err := m.vm.InsertSwapCache(k); err != nil {
+			return
+		}
+	}
+	m.reclaim(nil, k.PID)
+}
+
+// reclaim brings the cgroup back under its limit, writing victims to the
+// remote node. Reclaim runs in advance of allocations since Linux v5.8
+// (§II-A), so its latency stays off the app's critical path unless the
+// cost model says otherwise.
+func (m *Machine) reclaim(a *appState, pid memsim.PID) {
+	victims := m.vm.ReclaimIfNeeded(pid)
+	if len(victims) == 0 {
+		return
+	}
+	now := vclock.Time(0)
+	if a != nil {
+		now = a.now
+	}
+	for _, v := range victims {
+		m.remote.Write(v.Key)
+		m.met.RemoteWrites++
+		m.fabric.PageWrite(now)
+		m.caches.InvalidatePage(v.PPN)
+		if v.WasInjected || v.WasSwapCached {
+			m.met.PrefetchEvicted++
+		}
+		if v.WasInjected && m.pref != nil {
+			m.pref.Exec.OnEvicted(v.Key)
+		}
+	}
+	if a != nil && m.costs.SynchronousReclaim {
+		a.now = a.now.Add(vclock.Duration(len(victims)) * m.costs.ReclaimPerPage)
+	}
+}
+
+// hoppBackend adapts the machine to core.Backend without exporting the
+// methods on Machine itself.
+type hoppBackend Machine
+
+// PageState implements core.Backend.
+func (b *hoppBackend) PageState(key memsim.PageKey) vmm.PageState {
+	return (*Machine)(b).vm.Lookup(key)
+}
+
+// Fetch implements core.Backend: issue the RDMA read after the software
+// processing delay and schedule early PTE injection at arrival.
+func (b *hoppBackend) Fetch(now vclock.Time, key memsim.PageKey, onInjected func(vclock.Time)) bool {
+	m := (*Machine)(b)
+	if _, busy := m.inflight[key]; busy {
+		return false
+	}
+	if !m.remote.Has(key) {
+		return false
+	}
+	m.launchPrefetch(now.Add(m.cfg.HoPPSoftwareDelay), key, true, onInjected)
+	return true
+}
+
+// InjectSwapCached implements core.Backend: map an already-local
+// swapcache page with the injected flag, so its coming access is a DRAM
+// hit instead of a 2.3 µs prefetch-hit.
+func (b *hoppBackend) InjectSwapCached(now vclock.Time, key memsim.PageKey) bool {
+	m := (*Machine)(b)
+	if _, err := m.vm.PromoteInjected(key); err != nil {
+		return false
+	}
+	m.reclaim(nil, key.PID)
+	return true
+}
+
+// FetchBulk implements core.Backend: §IV's huge-space swap — the whole
+// window crosses the fabric in ONE transfer (one base latency amortized
+// over up to 512 pages), landing as individually injected PTEs.
+func (b *hoppBackend) FetchBulk(now vclock.Time, keys []memsim.PageKey, onInjected func(memsim.PageKey, vclock.Time)) bool {
+	m := (*Machine)(b)
+	if len(keys) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		if _, busy := m.inflight[k]; busy || !m.remote.Has(k) {
+			return false
+		}
+	}
+	issue := now.Add(m.cfg.HoPPSoftwareDelay)
+	arrival := m.fabric.Transfer(issue, len(keys)*memsim.PageSize)
+	m.met.BulkRequests++
+	infs := make([]*inflightFetch, len(keys))
+	for i, k := range keys {
+		m.remote.Read(k)
+		m.met.RemoteReads++
+		m.met.PrefetchIssued++
+		inf := &inflightFetch{arrival: arrival, inject: true, onInjected: func(t vclock.Time) {}}
+		infs[i] = inf
+		m.inflight[k] = inf
+	}
+	m.queue.Schedule(arrival, func(t vclock.Time) {
+		for i, k := range keys {
+			m.landPrefetch(k, infs[i], t)
+			onInjected(k, t)
+		}
+	})
+	return true
+}
+
+// Stats accessors for experiments and tests.
+
+// Metrics returns the metrics accumulated so far (complete after Run).
+func (m *Machine) Metrics() Metrics { return m.met }
+
+// HoPPTrainerStats exposes prediction-algorithm counters on HoPP
+// machines (the trainer's, or the alternative algorithm's if one is
+// configured).
+func (m *Machine) HoPPTrainerStats() (core.TrainerStats, bool) {
+	if m.pref == nil {
+		return core.TrainerStats{}, false
+	}
+	if m.pref.Trainer != nil {
+		return m.pref.Trainer.Stats(), true
+	}
+	if mk, ok := m.pref.Algo.(*core.Markov); ok {
+		return mk.Stats(), true
+	}
+	return core.TrainerStats{}, false
+}
+
+// HoPPExecStats exposes execution engine counters on HoPP machines.
+func (m *Machine) HoPPExecStats() (core.ExecStats, bool) {
+	if m.pref == nil {
+		return core.ExecStats{}, false
+	}
+	return m.pref.Exec.Stats(), true
+}
+
+// MCStats exposes the memory controller ledger on HoPP machines.
+func (m *Machine) MCStats() (mc.Stats, bool) {
+	if m.mcCtl == nil {
+		return mc.Stats{}, false
+	}
+	return m.mcCtl.Stats(), true
+}
+
+// FabricStats exposes the fabric ledger.
+func (m *Machine) FabricStats() rdma.Stats { return m.fabric.Stats() }

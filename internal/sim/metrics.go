@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+
+	"hopp/internal/vclock"
+)
+
+// Metrics aggregates one run's outcomes; the §VI-A definitions are
+// implemented as methods so every figure reads straight off this struct.
+type Metrics struct {
+	System string
+
+	// CompletionTime is the wall completion time (max across apps).
+	CompletionTime vclock.Duration
+	// PerApp maps workload name → its own completion time.
+	PerApp map[string]vclock.Duration
+
+	Accesses   uint64
+	CacheHits  uint64 // served by L2/LLC
+	DRAMHits   uint64 // LLC miss on a mapped page
+	MinorFault uint64 // first-touch zero-fill
+
+	// MajorFaults are demand remote reads on the critical path.
+	MajorFaults uint64
+	// SwapCacheHits are faults absorbed by a prefetched swapcache page.
+	SwapCacheHits uint64
+	// InjectedHits are first touches of early-PTE-injected pages — pure
+	// DRAM hits that would have been faults (HoPP / Depth-N only).
+	InjectedHits uint64
+	// LateHits are faults that waited on an in-flight prefetch.
+	LateHits uint64
+
+	// PrefetchIssued counts prefetch pages read from remote.
+	PrefetchIssued uint64
+	// PrefetchEvicted counts prefetched pages reclaimed before use.
+	PrefetchEvicted uint64
+
+	// RemoteReads/RemoteWrites are total fabric page transfers.
+	RemoteReads  uint64
+	RemoteWrites uint64
+	// BulkRequests counts §IV huge-space transfers (each moving many
+	// pages with one request latency).
+	BulkRequests uint64
+
+	// Stall time decomposition.
+	FaultStall    vclock.Duration
+	PrefetchStall vclock.Duration // swapcache-hit + late-hit overhead
+
+	// CoreAccuracy is the HoPP prefetch algorithm's own accuracy (its
+	// execution engine's hits over its issued pages), excluding the
+	// residual demand-path readahead that HoPP runs alongside. This is
+	// the quantity Figs. 10/13 report for HoPP; HasCore marks validity.
+	CoreAccuracy float64
+	HasCore      bool
+
+	// HoPP-only detail (zero elsewhere).
+	HotPagesEmitted uint64
+	IssuedByTier    [4]uint64
+	HitsByTier      [4]uint64
+	MeanLead        vclock.Duration
+	LeadBuckets     [6]uint64
+	HPDBandwidth    float64
+	RPTBandwidth    float64
+	RPTCacheHitRate float64
+}
+
+// PrefetchHits is every useful prefetch, however it was consumed.
+func (m Metrics) PrefetchHits() uint64 {
+	return m.SwapCacheHits + m.InjectedHits + m.LateHits
+}
+
+// Accuracy is prefetch hits / prefetched pages (§VI-A).
+func (m Metrics) Accuracy() float64 {
+	if m.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(m.PrefetchHits()) / float64(m.PrefetchIssued)
+}
+
+// PrefetcherAccuracy is the accuracy of the system's *prefetching
+// algorithm*: for HoPP machines, the core engine's own accuracy; for
+// kernel-based baselines (whose only prefetcher is the demand-path one),
+// the whole-system Accuracy.
+func (m Metrics) PrefetcherAccuracy() float64 {
+	if m.HasCore {
+		return m.CoreAccuracy
+	}
+	return m.Accuracy()
+}
+
+// Coverage is prefetch hits / (remote demand requests + prefetch hits)
+// (§VI-A).
+func (m Metrics) Coverage() float64 {
+	den := m.MajorFaults + m.PrefetchHits()
+	if den == 0 {
+		return 0
+	}
+	return float64(m.PrefetchHits()) / float64(den)
+}
+
+// DRAMHitCoverage is the injected-hit share of coverage — the part of
+// Fig. 11's HoPP bars that never faults at all.
+func (m Metrics) DRAMHitCoverage() float64 {
+	den := m.MajorFaults + m.PrefetchHits()
+	if den == 0 {
+		return 0
+	}
+	return float64(m.InjectedHits) / float64(den)
+}
+
+// SwapCacheHitCoverage is the swapcache share of coverage (all of
+// Fastswap's/Leap's coverage; the residual part of HoPP's).
+func (m Metrics) SwapCacheHitCoverage() float64 {
+	den := m.MajorFaults + m.PrefetchHits()
+	if den == 0 {
+		return 0
+	}
+	return float64(m.SwapCacheHits+m.LateHits) / float64(den)
+}
+
+// NormalizedPerformance is CT_local / CT_system given the local run's
+// completion time (§VI-A).
+func (m Metrics) NormalizedPerformance(local Metrics) float64 {
+	if m.CompletionTime == 0 {
+		return 0
+	}
+	return float64(local.CompletionTime) / float64(m.CompletionTime)
+}
+
+// SpeedupOver is 1 − CT_system/CT_baseline, the §VI-D Speedup metric
+// (positive = faster than the baseline).
+func (m Metrics) SpeedupOver(baseline Metrics) float64 {
+	if baseline.CompletionTime == 0 {
+		return 0
+	}
+	return 1 - float64(m.CompletionTime)/float64(baseline.CompletionTime)
+}
+
+// RemoteAccessRatio normalizes demand remote reads against a
+// no-prefetch run (Fig. 17).
+func (m Metrics) RemoteAccessRatio(noPrefetch Metrics) float64 {
+	if noPrefetch.MajorFaults == 0 {
+		return 0
+	}
+	return float64(m.MajorFaults) / float64(noPrefetch.MajorFaults)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: ct=%v faults=%d swapHits=%d injHits=%d acc=%.3f cov=%.3f",
+		m.System, m.CompletionTime, m.MajorFaults, m.SwapCacheHits, m.InjectedHits,
+		m.Accuracy(), m.Coverage())
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hopp/internal/vclock"
+)
+
+func TestAccuracyDefinition(t *testing.T) {
+	m := Metrics{PrefetchIssued: 100, SwapCacheHits: 40, InjectedHits: 30, LateHits: 10}
+	if got := m.Accuracy(); got != 0.8 {
+		t.Fatalf("accuracy = %v, want 0.8", got)
+	}
+	if (Metrics{}).Accuracy() != 0 {
+		t.Fatal("zero-issued accuracy should be 0")
+	}
+}
+
+func TestCoverageDefinition(t *testing.T) {
+	// §VI-A: hits / (remote demand requests + hits).
+	m := Metrics{MajorFaults: 20, SwapCacheHits: 50, InjectedHits: 25, LateHits: 5}
+	if got := m.Coverage(); got != 0.8 {
+		t.Fatalf("coverage = %v, want 0.8", got)
+	}
+	if (Metrics{}).Coverage() != 0 {
+		t.Fatal("empty coverage should be 0")
+	}
+	if got := m.DRAMHitCoverage(); got != 0.25 {
+		t.Fatalf("DRAM-hit coverage = %v, want 0.25", got)
+	}
+	if got := m.SwapCacheHitCoverage(); got != 0.55 {
+		t.Fatalf("swapcache coverage = %v, want 0.55", got)
+	}
+	if m.DRAMHitCoverage()+m.SwapCacheHitCoverage() != m.Coverage() {
+		t.Fatal("coverage split does not sum")
+	}
+}
+
+func TestPrefetcherAccuracySelection(t *testing.T) {
+	m := Metrics{PrefetchIssued: 10, SwapCacheHits: 5, HasCore: true, CoreAccuracy: 0.95}
+	if m.PrefetcherAccuracy() != 0.95 {
+		t.Fatal("HasCore should select CoreAccuracy")
+	}
+	m.HasCore = false
+	if m.PrefetcherAccuracy() != 0.5 {
+		t.Fatal("baseline should fall back to whole-system accuracy")
+	}
+}
+
+func TestNormalizedAndSpeedup(t *testing.T) {
+	local := Metrics{CompletionTime: 50 * vclock.Millisecond}
+	sys := Metrics{CompletionTime: 100 * vclock.Millisecond}
+	if got := sys.NormalizedPerformance(local); got != 0.5 {
+		t.Fatalf("normalized = %v", got)
+	}
+	base := Metrics{CompletionTime: 200 * vclock.Millisecond}
+	if got := sys.SpeedupOver(base); got != 0.5 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if (Metrics{}).NormalizedPerformance(local) != 0 {
+		t.Fatal("zero CT normalized should be 0")
+	}
+	if sys.SpeedupOver(Metrics{}) != 0 {
+		t.Fatal("zero baseline speedup should be 0")
+	}
+}
+
+func TestRemoteAccessRatio(t *testing.T) {
+	none := Metrics{MajorFaults: 200}
+	m := Metrics{MajorFaults: 50}
+	if got := m.RemoteAccessRatio(none); got != 0.25 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if m.RemoteAccessRatio(Metrics{}) != 0 {
+		t.Fatal("zero baseline ratio should be 0")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{System: "X", CompletionTime: vclock.Millisecond}
+	s := m.String()
+	if !strings.Contains(s, "X") || !strings.Contains(s, "ct=") {
+		t.Fatalf("String() = %q", s)
+	}
+}

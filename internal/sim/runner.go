@@ -1,0 +1,79 @@
+package sim
+
+import "hopp/internal/workload"
+
+// RunWith runs one workload under one system using the base config
+// (its System field is replaced).
+func RunWith(base Config, sys System, gen workload.Generator) (Metrics, error) {
+	base.System = sys
+	m, err := New(base, gen)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.Run()
+}
+
+// RunWorkload runs one workload under one system with each app's cgroup
+// limited to frac of its footprint (0 = local). The generator is Reset
+// by the machine, so the same instance can be reused across sequential
+// runs.
+func RunWorkload(sys System, gen workload.Generator, frac float64, seed int64) (Metrics, error) {
+	return RunWith(Config{LocalMemoryFrac: frac, Seed: seed}, sys, gen)
+}
+
+// RunLocal runs the workload with unlimited local memory — the
+// CT_local baseline of §VI-A.
+func RunLocal(gen workload.Generator, seed int64) (Metrics, error) {
+	return RunWorkload(NoPrefetch(), gen, 0, seed)
+}
+
+// Comparison holds one workload's results across systems plus the local
+// baseline, ready for normalized-performance reporting.
+type Comparison struct {
+	Workload string
+	Local    Metrics
+	Results  []Metrics
+}
+
+// Compare runs the workload locally and under every system at the given
+// memory fraction.
+func Compare(gen workload.Generator, frac float64, seed int64, systems ...System) (Comparison, error) {
+	return CompareWith(Config{LocalMemoryFrac: frac, Seed: seed}, gen, systems...)
+}
+
+// CompareWith is Compare with full control over the machine config. The
+// local baseline reuses the config with memory limits removed.
+func CompareWith(base Config, gen workload.Generator, systems ...System) (Comparison, error) {
+	cmp := Comparison{Workload: gen.Name()}
+	localCfg := base
+	localCfg.LocalMemoryFrac = 0
+	localCfg.LocalMemoryPages = 0
+	local, err := RunWith(localCfg, NoPrefetch(), gen)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Local = local
+	for _, sys := range systems {
+		met, err := RunWith(base, sys, gen)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.Results = append(cmp.Results, met)
+	}
+	return cmp, nil
+}
+
+// Normalized returns CT_local/CT_system for the i-th system.
+func (c Comparison) Normalized(i int) float64 {
+	return c.Results[i].NormalizedPerformance(c.Local)
+}
+
+// Find returns the metrics for a system by name.
+func (c Comparison) Find(name string) (Metrics, bool) {
+	for _, m := range c.Results {
+		if m.System == name {
+			return m, true
+		}
+	}
+	return Metrics{}, false
+}

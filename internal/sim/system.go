@@ -1,0 +1,88 @@
+// Package sim is the discrete-event machine that runs workloads on a
+// simulated disaggregated-memory server: CPU caches filter accesses, the
+// VMM services faults with the §II-A cost model, the RDMA fabric moves
+// pages, the modified memory controller extracts hot pages, and the
+// system under test (Fastswap, Leap, Depth-N, VMA, or HoPP) prefetches.
+//
+// One Machine = one run of one system configuration over one or more
+// applications; Run returns the Metrics behind every figure in §VI.
+package sim
+
+import (
+	"hopp/internal/core"
+	"hopp/internal/swap"
+)
+
+// System describes a remote-memory system under test.
+type System struct {
+	// Name labels experiment output.
+	Name string
+	// NewFault constructs the demand-path prefetcher (per run, because
+	// prefetchers carry history). nil means no demand-path prefetching.
+	// The VMA prefetcher receives the machine as its RegionResolver.
+	NewFault func(regions swap.RegionResolver) swap.Prefetcher
+	// HoPP attaches the memory controller hardware and the core software
+	// data plane.
+	HoPP bool
+	// HoPPParams configures the core stack when HoPP is true.
+	HoPPParams core.Params
+	// ChargePrefetched charges swapcache-landed prefetches to the cgroup
+	// (HoPP's accounting fix, §I).
+	ChargePrefetched bool
+}
+
+// Fastswap is the kernel-based baseline: readahead into the swapcache.
+func Fastswap() System {
+	return System{
+		Name:     "Fastswap",
+		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewReadahead(8) },
+	}
+}
+
+// Leap is majority-stride prefetching into the swapcache.
+func Leap() System {
+	return System{
+		Name:     "Leap",
+		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewLeap(4, 8) },
+	}
+}
+
+// DepthN is fixed-depth prefetching with early PTE injection.
+func DepthN(n int) System {
+	return System{
+		Name:     swap.NewDepthN(n).Name(),
+		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewDepthN(n) },
+	}
+}
+
+// VMA is Linux 5.4's VMA-clipped readahead.
+func VMA() System {
+	return System{
+		Name:     "VMA",
+		NewFault: func(r swap.RegionResolver) swap.Prefetcher { return swap.NewVMA(8, r) },
+	}
+}
+
+// NoPrefetch is the demand-only baseline normalizing Fig. 17.
+func NoPrefetch() System {
+	return System{Name: "NoPrefetch"}
+}
+
+// HoPP is the full co-designed system: Fastswap's demand path plus the
+// MC hot-page data plane driving adaptive three-tier prefetching with
+// early PTE injection (§V integrates HoPP with Fastswap).
+func HoPP() System {
+	return HoPPWith(core.DefaultParams())
+}
+
+// HoPPWith is HoPP with explicit core parameters (tier ablations, fixed
+// offsets, intensity sweeps).
+func HoPPWith(params core.Params) System {
+	return System{
+		Name:             "HoPP",
+		NewFault:         func(swap.RegionResolver) swap.Prefetcher { return swap.NewReadahead(8) },
+		HoPP:             true,
+		HoPPParams:       params,
+		ChargePrefetched: true,
+	}
+}

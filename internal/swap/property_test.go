@@ -1,0 +1,87 @@
+package swap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hopp/internal/memsim"
+)
+
+// Property: no prefetcher ever proposes the faulting page itself, a
+// zero/overflowed VPN, or more pages than its configured depth.
+func TestPrefetcherOutputBoundsProperty(t *testing.T) {
+	builders := []func() Prefetcher{
+		func() Prefetcher { return NewReadahead(8) },
+		func() Prefetcher { return NewLeap(4, 8) },
+		func() Prefetcher { return NewDepthN(16) },
+		func() Prefetcher { return NewDepthN(32) },
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, build := range builders {
+			p := build()
+			maxOut := 32
+			for i := 0; i < 300; i++ {
+				var vpn memsim.VPN
+				switch rng.Intn(3) {
+				case 0:
+					vpn = memsim.VPN(rng.Intn(8) + 1) // near zero
+				case 1:
+					vpn = memsim.MaxVPN - memsim.VPN(rng.Intn(8)) // near top
+				default:
+					vpn = memsim.VPN(rng.Int63n(1 << 30))
+				}
+				key := memsim.PageKey{PID: memsim.PID(rng.Intn(3)), VPN: vpn}
+				out := p.OnFault(0, key)
+				if len(out) > maxOut {
+					return false
+				}
+				for _, o := range out {
+					if o == key.VPN {
+						return false // prefetching the demand page is a bug
+					}
+					if int64(o) <= 0 || o > memsim.MaxVPN {
+						// Readahead/DepthN may walk past MaxVPN on the
+						// synthetic top-of-space faults; they must not
+						// wrap to tiny values.
+						if o < key.VPN {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Leap's history window never exceeds its configured size and
+// its detection is insensitive to unrelated PIDs interleaving.
+func TestLeapHistoryIsolationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLeap(4, 8)
+		// PID 1 faults with a clean stride; PIDs 2 and 3 interleave noise.
+		stride := memsim.VPN(rng.Intn(6) + 2)
+		base := memsim.VPN(rng.Intn(100000) + 1000)
+		var lastOut []memsim.VPN
+		for i := 0; i < 50; i++ {
+			l.OnFault(0, memsim.PageKey{PID: 2, VPN: memsim.VPN(rng.Int63n(1 << 20))})
+			l.OnFault(0, memsim.PageKey{PID: 3, VPN: memsim.VPN(rng.Int63n(1 << 20))})
+			lastOut = l.OnFault(0, memsim.PageKey{PID: 1, VPN: base + memsim.VPN(i)*stride})
+		}
+		// After warmup, PID 1's prediction must follow its own stride.
+		want := base + 49*stride + stride
+		if len(lastOut) == 0 {
+			return false
+		}
+		return lastOut[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package swap implements the demand-path prefetchers of the
+// kernel-based remote memory systems HoPP is compared against:
+//
+//   - Readahead — Fastswap's sequential readahead on swap offsets [7]
+//   - Leap — majority-stride prefetching over the page fault history [38]
+//   - Depth-N — fixed-depth prefetching with early PTE injection [9]
+//   - VMA — Linux 5.4's VMA-clipped neighbourhood prefetching
+//   - None — no prefetching, the Fig. 17 normalization baseline
+//
+// Each is a policy object invoked on every major fault; the simulation
+// engine lands the returned pages in the swapcache (or injects PTEs when
+// Inject reports true) and does all latency and metric accounting.
+package swap
+
+import (
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// Prefetcher is a demand-path prefetch policy.
+type Prefetcher interface {
+	// Name identifies the system in experiment output.
+	Name() string
+	// OnFault is invoked on a major fault for key and returns the VPNs
+	// to prefetch alongside the demand page.
+	OnFault(now vclock.Time, key memsim.PageKey) []memsim.VPN
+	// Inject reports whether prefetched pages receive early PTE
+	// injection (Depth-N) instead of landing in the swapcache.
+	Inject() bool
+}
+
+// None is the no-prefetch baseline.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "NoPrefetch" }
+
+// OnFault implements Prefetcher; it never prefetches.
+func (None) OnFault(vclock.Time, memsim.PageKey) []memsim.VPN { return nil }
+
+// Inject implements Prefetcher.
+func (None) Inject() bool { return false }
+
+// Readahead is Fastswap's prefetcher: on a fault at page F it reads the
+// next Window pages in swap-offset order. Swap offsets correlate with
+// the order pages were reclaimed; for the sequentially reclaimed
+// anonymous regions the comparison workloads use, VPN order is the
+// faithful approximation (the paper makes the same observation in §VI-E:
+// "Fastswap prefetches adjacent pages based on swap offset").
+type Readahead struct {
+	// Window is the number of pages to read ahead. Default 8, Linux's
+	// default page-cluster of 3 (2³ pages).
+	Window int
+}
+
+// NewReadahead returns Fastswap's prefetcher with the default window.
+func NewReadahead(window int) *Readahead {
+	if window <= 0 {
+		window = 8
+	}
+	return &Readahead{Window: window}
+}
+
+// Name implements Prefetcher.
+func (r *Readahead) Name() string { return "Fastswap" }
+
+// Inject implements Prefetcher.
+func (r *Readahead) Inject() bool { return false }
+
+// OnFault implements Prefetcher.
+func (r *Readahead) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
+	out := make([]memsim.VPN, 0, r.Window)
+	for i := 1; i <= r.Window; i++ {
+		out = append(out, key.VPN+memsim.VPN(i))
+	}
+	return out
+}
+
+// Leap is the majority-based prefetcher of Maruf & Chowdhury [38]: it
+// keeps a window of recent fault addresses per process, finds the
+// majority stride with Boyer–Moore voting, and prefetches along that
+// stride; with no majority it falls back to a reduced readahead.
+//
+// Because the history window mixes faults from all of a process's
+// streams, interleaved streams corrupt the stride — the §II-B limitation
+// Fig. 1 illustrates.
+type Leap struct {
+	// HistoryWindow is how many recent faults feed stride detection.
+	// Default 4 (the configuration Fig. 1 analyses).
+	HistoryWindow int
+	// Depth is how many pages to prefetch along a detected stride.
+	// Default 8.
+	Depth int
+
+	history map[memsim.PID][]memsim.VPN
+}
+
+// NewLeap returns Leap with the paper's analysed configuration.
+func NewLeap(historyWindow, depth int) *Leap {
+	if historyWindow <= 0 {
+		historyWindow = 4
+	}
+	if depth <= 0 {
+		depth = 8
+	}
+	return &Leap{
+		HistoryWindow: historyWindow,
+		Depth:         depth,
+		history:       make(map[memsim.PID][]memsim.VPN),
+	}
+}
+
+// Name implements Prefetcher.
+func (l *Leap) Name() string { return "Leap" }
+
+// Inject implements Prefetcher.
+func (l *Leap) Inject() bool { return false }
+
+// OnFault implements Prefetcher.
+func (l *Leap) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
+	h := l.history[key.PID]
+	h = append(h, key.VPN)
+	if len(h) > l.HistoryWindow {
+		h = h[len(h)-l.HistoryWindow:]
+	}
+	l.history[key.PID] = h
+
+	if stride, ok := l.majorityStride(h); ok && stride != 0 {
+		out := make([]memsim.VPN, 0, l.Depth)
+		for i := 1; i <= l.Depth; i++ {
+			v := int64(key.VPN) + int64(i)*int64(stride)
+			if v <= 0 || v > int64(memsim.MaxVPN) {
+				break
+			}
+			out = append(out, memsim.VPN(v))
+		}
+		return out
+	}
+	// No trend: Leap degrades to a shallow neighbourhood read.
+	out := make([]memsim.VPN, 0, l.Depth/2)
+	for i := 1; i <= l.Depth/2; i++ {
+		out = append(out, key.VPN+memsim.VPN(i))
+	}
+	return out
+}
+
+// majorityStride runs Boyer–Moore over the history's strides and
+// verifies the candidate truly is a majority (> half).
+func (l *Leap) majorityStride(h []memsim.VPN) (memsim.Stride, bool) {
+	if len(h) < 2 {
+		return 0, false
+	}
+	var candidate memsim.Stride
+	count := 0
+	n := 0
+	for i := 1; i < len(h); i++ {
+		s := memsim.StrideBetween(h[i-1], h[i])
+		n++
+		if count == 0 {
+			candidate, count = s, 1
+		} else if s == candidate {
+			count++
+		} else {
+			count--
+		}
+	}
+	occur := 0
+	for i := 1; i < len(h); i++ {
+		if memsim.StrideBetween(h[i-1], h[i]) == candidate {
+			occur++
+		}
+	}
+	if occur*2 > n {
+		return candidate, true
+	}
+	return 0, false
+}
+
+// DepthN is the early-PTE-injection prefetcher of Awad et al. [9]
+// (§II-C): on every fault it prefetches the next N pages and maps them
+// immediately. N is fixed — with PTEs injected, no fault ever reports
+// whether the prefetches were useful, so the depth cannot adapt.
+type DepthN struct {
+	// N is the fixed prefetch depth; the paper evaluates 16 and 32.
+	N int
+}
+
+// NewDepthN returns the Depth-N prefetcher.
+func NewDepthN(n int) *DepthN {
+	if n <= 0 {
+		n = 32
+	}
+	return &DepthN{N: n}
+}
+
+// Name implements Prefetcher.
+func (d *DepthN) Name() string {
+	if d.N == 16 {
+		return "Depth-16"
+	}
+	if d.N == 32 {
+		return "Depth-32"
+	}
+	return "Depth-N"
+}
+
+// Inject implements Prefetcher.
+func (d *DepthN) Inject() bool { return true }
+
+// OnFault implements Prefetcher.
+func (d *DepthN) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
+	out := make([]memsim.VPN, 0, d.N)
+	for i := 1; i <= d.N; i++ {
+		out = append(out, key.VPN+memsim.VPN(i))
+	}
+	return out
+}
+
+// RegionResolver lets the VMA prefetcher find the memory area containing
+// a page. The simulation engine implements it from workload regions.
+type RegionResolver interface {
+	// Region returns the [start, end) VPN bounds of the VMA holding the
+	// page, if any.
+	Region(key memsim.PageKey) (start, end memsim.VPN, ok bool)
+}
+
+// VMA is Linux 5.4's VMA-based prefetcher: readahead around the fault,
+// clipped to the containing VMA — "VMA is a resemblance of page
+// clustering" (§VI-E), which is why it beats raw swap-offset readahead.
+type VMA struct {
+	// Window is the total neighbourhood size. Default 8.
+	Window   int
+	resolver RegionResolver
+}
+
+// NewVMA returns the VMA prefetcher.
+func NewVMA(window int, resolver RegionResolver) *VMA {
+	if window <= 0 {
+		window = 8
+	}
+	return &VMA{Window: window, resolver: resolver}
+}
+
+// Name implements Prefetcher.
+func (v *VMA) Name() string { return "VMA" }
+
+// Inject implements Prefetcher.
+func (v *VMA) Inject() bool { return false }
+
+// OnFault implements Prefetcher.
+func (v *VMA) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
+	start, end, ok := v.resolver.Region(key)
+	if !ok {
+		return nil
+	}
+	out := make([]memsim.VPN, 0, v.Window)
+	for i := 1; i <= v.Window && key.VPN+memsim.VPN(i) < end; i++ {
+		out = append(out, key.VPN+memsim.VPN(i))
+	}
+	// Fill the remainder backwards within the VMA, as the kernel's
+	// swap_vma_readahead centres its window on the fault.
+	for i := 1; len(out) < v.Window && int64(key.VPN)-int64(i) >= int64(start); i++ {
+		out = append(out, key.VPN-memsim.VPN(i))
+	}
+	return out
+}

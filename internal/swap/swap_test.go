@@ -1,0 +1,216 @@
+package swap
+
+import (
+	"testing"
+
+	"hopp/internal/memsim"
+)
+
+func k(pid memsim.PID, vpn memsim.VPN) memsim.PageKey {
+	return memsim.PageKey{PID: pid, VPN: vpn}
+}
+
+func TestNone(t *testing.T) {
+	var n None
+	if n.OnFault(0, k(1, 5)) != nil || n.Inject() {
+		t.Fatal("None must never prefetch or inject")
+	}
+}
+
+func TestReadaheadWindow(t *testing.T) {
+	r := NewReadahead(4)
+	got := r.OnFault(0, k(1, 100))
+	want := []memsim.VPN{101, 102, 103, 104}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if r.Inject() {
+		t.Fatal("Fastswap must land in swapcache, not inject")
+	}
+	if NewReadahead(0).Window != 8 {
+		t.Fatal("default window not 8")
+	}
+}
+
+func TestLeapDetectsCleanStride(t *testing.T) {
+	l := NewLeap(4, 8)
+	// Faults with stride 3: 0, 3, 6, 9.
+	l.OnFault(0, k(1, 0))
+	l.OnFault(0, k(1, 3))
+	l.OnFault(0, k(1, 6))
+	got := l.OnFault(0, k(1, 9))
+	if len(got) != 8 {
+		t.Fatalf("depth = %d", len(got))
+	}
+	for i, v := range got {
+		if v != memsim.VPN(9+3*(i+1)) {
+			t.Fatalf("got %v, want stride-3 continuation", got)
+		}
+	}
+}
+
+func TestLeapNegativeStride(t *testing.T) {
+	l := NewLeap(4, 4)
+	for _, v := range []memsim.VPN{100, 98, 96} {
+		l.OnFault(0, k(1, v))
+	}
+	got := l.OnFault(0, k(1, 94))
+	if len(got) == 0 || got[0] != 92 {
+		t.Fatalf("descending stride not followed: %v", got)
+	}
+}
+
+func TestLeapFallbackOnNoMajority(t *testing.T) {
+	l := NewLeap(4, 8)
+	for _, v := range []memsim.VPN{10, 500, 11, 900} {
+		l.OnFault(0, k(1, v))
+	}
+	got := l.OnFault(0, k(1, 12))
+	// Fallback: shallow neighbourhood (Depth/2 = 4 sequential pages).
+	if len(got) != 4 || got[0] != 13 {
+		t.Fatalf("fallback = %v", got)
+	}
+}
+
+// The Fig. 1 / §VI-E limitation: with two streams' faults interleaved,
+// Leap's shared history yields garbage strides, so over a whole run it
+// usefully covers fewer future faults than Fastswap's plain readahead.
+func TestLeapConfusedByInterleavedStreams(t *testing.T) {
+	// Stream A: stride 3 from 1000; stream B: stride 2 from 500000.
+	// Faults alternate (two concurrent threads).
+	var faults []memsim.VPN
+	a, b := memsim.VPN(1000), memsim.VPN(500000)
+	for i := 0; i < 200; i++ {
+		faults = append(faults, a, b)
+		a += 3
+		b += 2
+	}
+	usefulFrac := func(p Prefetcher) float64 {
+		prefetched := make(map[memsim.VPN]bool)
+		hits := 0
+		for _, f := range faults {
+			if prefetched[f] {
+				hits++
+			}
+			for _, v := range p.OnFault(0, k(1, f)) {
+				prefetched[v] = true
+			}
+		}
+		return float64(hits) / float64(len(faults))
+	}
+	leap := usefulFrac(NewLeap(4, 8))
+	fastswap := usefulFrac(NewReadahead(8))
+	if leap >= fastswap {
+		t.Fatalf("Leap (%.3f) should cover less than Fastswap (%.3f) under interleaving", leap, fastswap)
+	}
+	// And on a single clean stream with a stride wider than the readahead
+	// window, Leap must beat Fastswap (readahead-8 never reaches F+16).
+	faults = nil
+	for i := 0; i < 200; i++ {
+		faults = append(faults, memsim.VPN(1000+i*16))
+	}
+	leap = usefulFrac(NewLeap(4, 8))
+	fastswap = usefulFrac(NewReadahead(8))
+	if leap <= fastswap {
+		t.Fatalf("Leap (%.3f) should beat Fastswap (%.3f) on a clean strided stream", leap, fastswap)
+	}
+}
+
+func TestLeapPerPIDHistory(t *testing.T) {
+	l := NewLeap(4, 4)
+	// PID 1 faults with stride 5; PID 2 interleaves with stride 7. If
+	// histories were shared, neither stride would be the majority.
+	l.OnFault(0, k(1, 0))
+	l.OnFault(0, k(2, 1000))
+	l.OnFault(0, k(1, 5))
+	l.OnFault(0, k(2, 1007))
+	l.OnFault(0, k(1, 10))
+	l.OnFault(0, k(2, 1014))
+	got := l.OnFault(0, k(1, 15))
+	if len(got) == 0 || got[0] != 20 {
+		t.Fatalf("per-PID stride broken: %v", got)
+	}
+}
+
+func TestLeapStrideClipping(t *testing.T) {
+	l := NewLeap(4, 8)
+	// Descending faults near VPN 0: predictions must stop at 0, not wrap.
+	l.OnFault(0, k(1, 9))
+	l.OnFault(0, k(1, 6))
+	l.OnFault(0, k(1, 3))
+	got := l.OnFault(0, k(1, 2)) // history 9,6,3,2: strides -3,-3,-1 → majority -3
+	for _, v := range got {
+		if int64(v) <= 0 {
+			t.Fatalf("prediction wrapped below zero: %v", got)
+		}
+	}
+}
+
+func TestDepthN(t *testing.T) {
+	d := NewDepthN(16)
+	if !d.Inject() {
+		t.Fatal("Depth-N must inject PTEs")
+	}
+	if d.Name() != "Depth-16" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	got := d.OnFault(0, k(1, 50))
+	if len(got) != 16 || got[0] != 51 || got[15] != 66 {
+		t.Fatalf("got %v", got)
+	}
+	if NewDepthN(32).Name() != "Depth-32" {
+		t.Fatal("Depth-32 name wrong")
+	}
+}
+
+type fixedRegions map[memsim.PID][][2]memsim.VPN
+
+func (f fixedRegions) Region(key memsim.PageKey) (memsim.VPN, memsim.VPN, bool) {
+	for _, r := range f[key.PID] {
+		if key.VPN >= r[0] && key.VPN < r[1] {
+			return r[0], r[1], true
+		}
+	}
+	return 0, 0, false
+}
+
+func TestVMAClipsToRegion(t *testing.T) {
+	res := fixedRegions{1: {{100, 110}}}
+	v := NewVMA(8, res)
+	got := v.OnFault(0, k(1, 106))
+	// Forward: 107, 108, 109 (110 excluded); backward fill: 105, 104, 103, 102, 101.
+	if len(got) != 8 {
+		t.Fatalf("got %d pages: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p < 100 || p >= 110 {
+			t.Fatalf("prefetch %d escaped the VMA", p)
+		}
+		if p == 106 {
+			t.Fatal("prefetched the faulting page itself")
+		}
+	}
+}
+
+func TestVMANoRegion(t *testing.T) {
+	v := NewVMA(8, fixedRegions{})
+	if got := v.OnFault(0, k(1, 5)); got != nil {
+		t.Fatalf("prefetched outside any VMA: %v", got)
+	}
+}
+
+func TestVMADoesNotCrossRegions(t *testing.T) {
+	res := fixedRegions{1: {{0, 10}, {10, 20}}}
+	v := NewVMA(8, res)
+	got := v.OnFault(0, k(1, 8))
+	for _, p := range got {
+		if p >= 10 {
+			t.Fatalf("prefetch %d crossed into the next VMA", p)
+		}
+	}
+}

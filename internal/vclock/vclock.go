@@ -1,0 +1,201 @@
+// Package vclock provides the virtual time base of the simulation: a
+// nanosecond-granularity Time, convenience duration constructors, and a
+// binary-heap event queue used by the discrete-event machine.
+//
+// All latencies in the cost model (internal/vmm) and the fabric model
+// (internal/rdma) are expressed as vclock durations, so a whole
+// experiment is a pure function of its inputs and seed.
+package vclock
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Micros returns the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis returns the duration in (fractional) milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds returns the duration in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// Event is a scheduled callback in an EventQueue.
+type Event struct {
+	When Time
+	Fn   func(Time)
+
+	index int // heap index; -1 once popped or cancelled
+	seq   uint64
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// EventQueue is a min-heap of events ordered by time, breaking ties by
+// insertion order so simulations are deterministic.
+//
+// The zero value is ready to use.
+type EventQueue struct {
+	events  []*Event
+	nextSeq uint64
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.events) }
+
+// Schedule enqueues fn to run at time when and returns the event handle,
+// which may be passed to Cancel.
+func (q *EventQueue) Schedule(when Time, fn func(Time)) *Event {
+	e := &Event{When: when, Fn: fn, seq: q.nextSeq}
+	q.nextSeq++
+	q.push(e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	q.remove(e.index)
+	e.index = -1
+}
+
+// PeekTime returns the time of the earliest pending event. ok is false if
+// the queue is empty.
+func (q *EventQueue) PeekTime() (t Time, ok bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].When, true
+}
+
+// Pop removes and returns the earliest pending event, or nil if empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	e := q.events[0]
+	q.remove(0)
+	e.index = -1
+	return e
+}
+
+// RunUntil fires, in order, every event scheduled at or before t.
+// Events scheduled by callbacks are themselves fired if they fall within
+// the horizon.
+func (q *EventQueue) RunUntil(t Time) {
+	for {
+		when, ok := q.PeekTime()
+		if !ok || when > t {
+			return
+		}
+		e := q.Pop()
+		e.Fn(e.When)
+	}
+}
+
+func (q *EventQueue) less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.When != b.When {
+		return a.When < b.When
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *EventQueue) push(e *Event) {
+	e.index = len(q.events)
+	q.events = append(q.events, e)
+	q.up(e.index)
+}
+
+func (q *EventQueue) remove(i int) {
+	last := len(q.events) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.events[last] = nil
+	q.events = q.events[:last]
+	if i != last && i < len(q.events) {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.events)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,529 @@
+// Package vmm models the virtual memory subsystem a kernel-based remote
+// memory system lives in: per-process page tables, the swapcache,
+// per-cgroup page accounting with LRU reclaim, and the §II-A cost model
+// for the fault paths.
+//
+// The model is structural — it tracks page state transitions and
+// residency; the simulation engine charges latency using Costs and moves
+// bytes over the rdma fabric. Kernel hook points (set_pte_at /
+// pte_clear, §V) are exposed as callbacks so the memory controller's RPT
+// stays in sync exactly the way HoPP's kernel patch keeps it in sync.
+package vmm
+
+import (
+	"fmt"
+
+	"hopp/internal/memsim"
+)
+
+// PageState describes where a virtual page currently lives.
+type PageState int
+
+// Page states.
+const (
+	// Untouched: never accessed; first access is a minor (zero-fill) fault.
+	Untouched PageState = iota
+	// Mapped: present bit set; access is a plain memory access.
+	Mapped
+	// SwapCached: resident in local DRAM but not mapped; access is a
+	// prefetch-hit (§II-C).
+	SwapCached
+	// SwappedOut: only the remote copy exists; access is a major fault.
+	SwappedOut
+)
+
+func (s PageState) String() string {
+	switch s {
+	case Untouched:
+		return "untouched"
+	case Mapped:
+		return "mapped"
+	case SwapCached:
+		return "swapcached"
+	case SwappedOut:
+		return "swappedout"
+	default:
+		return fmt.Sprintf("PageState(%d)", int(s))
+	}
+}
+
+type page struct {
+	key      memsim.PageKey
+	ppn      memsim.PPN
+	state    PageState // Mapped or SwapCached
+	injected bool      // mapped by early PTE injection, not yet touched
+	charged  bool      // counted against the cgroup
+	seq      uint64    // swapcache insertion sequence, for freshness
+	prev     *page
+	next     *page
+}
+
+// lruList is an intrusive doubly-linked list; head is MRU, tail is LRU.
+type lruList struct {
+	head *page
+	tail *page
+	n    int
+}
+
+func (l *lruList) pushFront(p *page) {
+	p.prev, p.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = p
+	}
+	l.head = p
+	if l.tail == nil {
+		l.tail = p
+	}
+	l.n++
+}
+
+func (l *lruList) remove(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	l.n--
+}
+
+func (l *lruList) moveToFront(p *page) {
+	if l.head == p {
+		return
+	}
+	l.remove(p)
+	l.pushFront(p)
+}
+
+// Cgroup is one application's memory control group.
+type Cgroup struct {
+	pid      memsim.PID
+	limit    int // max charged pages; 0 = unlimited
+	charged  int
+	active   lruList // mapped pages
+	inactive lruList // swapcache pages
+}
+
+// Charged returns the cgroup's current page charge.
+func (c *Cgroup) Charged() int { return c.charged }
+
+// Limit returns the cgroup's page limit (0 = unlimited).
+func (c *Cgroup) Limit() int { return c.limit }
+
+// OverLimit returns how many pages over its limit the cgroup is.
+func (c *Cgroup) OverLimit() int {
+	if c.limit == 0 || c.charged <= c.limit {
+		return 0
+	}
+	return c.charged - c.limit
+}
+
+// Config configures the VMM.
+type Config struct {
+	// PhysPages bounds total local DRAM pages; 0 = unbounded (the
+	// usual setup: per-cgroup limits provide the pressure).
+	PhysPages int
+	// ChargePrefetched charges swapcache pages landed by prefetching to
+	// the application's cgroup. HoPP does this; Fastswap and Leap do not
+	// (§I: "we charge the prefetched pages to the cgroup of the
+	// application while Fastswap and Leap did not account for").
+	ChargePrefetched bool
+	// SwapCacheCapPages bounds *uncharged* swapcache pages per cgroup —
+	// the slack Fastswap/Leap enjoy by not accounting for prefetches.
+	// Beyond the cap, global (non-cgroup) reclaim drops the oldest.
+	// Default 64. Irrelevant when ChargePrefetched is true.
+	SwapCacheCapPages int
+	// InactiveProtect shields the most recent N swapcache inserts from
+	// cgroup reclaim (the kernel's referenced-page second chance): a
+	// just-landed prefetch must get its few µs of grace before the
+	// cgroup squeeze can take it; older unused prefetches are prime
+	// victims. Default 16.
+	InactiveProtect uint64
+	// LazyLRU models the kernel's approximate recency: page positions
+	// are set at map/promote time and NOT refreshed by ordinary touches
+	// (real kernels only learn about touches from periodic access-bit
+	// scans). This is the regime where §IV's trace-informed eviction
+	// advisor has information reclaim lacks. Default false (exact LRU).
+	LazyLRU bool
+}
+
+// Stats counts structural events.
+type Stats struct {
+	Allocs            uint64
+	MapsNew           uint64
+	MapsRemote        uint64
+	Injections        uint64
+	InjectedInPlace   uint64 // PTE injections of already-local swapcache pages
+	SwapCacheInserts  uint64
+	Promotions        uint64
+	Evictions         uint64
+	EvictedInjected   uint64 // injected pages evicted before first touch
+	EvictedSwapCached uint64 // prefetched pages evicted before promotion
+	AdvisorRescues    uint64 // hot LRU tails rotated instead of evicted (§IV)
+}
+
+// Victim describes one evicted page; the engine writes it to the remote
+// node and invalidates its CPU cache lines.
+type Victim struct {
+	Key memsim.PageKey
+	PPN memsim.PPN
+	// WasMapped is true when a PTE had to be torn down.
+	WasMapped bool
+	// WasInjected is true when the page was early-PTE-injected and never
+	// touched — a wasted prefetch that polluted memory (§II-C).
+	WasInjected bool
+	// WasSwapCached is true when the page sat unpromoted in the swapcache.
+	WasSwapCached bool
+}
+
+// VMM is the machine-wide virtual memory subsystem.
+type VMM struct {
+	cfg    Config
+	groups map[memsim.PID]*Cgroup
+	pages  map[memsim.PageKey]*page
+	// everSwapped records pages with a remote copy, distinguishing major
+	// faults from first-touch minor faults.
+	everSwapped map[memsim.PageKey]bool
+
+	nextPPN  memsim.PPN
+	freePPNs []memsim.PPN
+	resident int
+	// insertSeq orders swapcache inserts for the freshness shield.
+	insertSeq uint64
+
+	stats Stats
+
+	// OnSetPTE is the set_pte_at hook (→ mc.SetMapping).
+	OnSetPTE func(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN)
+	// OnClearPTE is the pte_clear hook (→ mc.ClearMapping).
+	OnClearPTE func(ppn memsim.PPN)
+	// Advisor, when set, lets reclaim consult MC-level hotness (§IV:
+	// "the software can serve other purposes with full memory traces,
+	// e.g., improving kernel page eviction"): LRU-tail pages the advisor
+	// reports hot get rotated back instead of evicted, bounded by
+	// advisorScan per eviction.
+	Advisor func(key memsim.PageKey) bool
+}
+
+// advisorScan bounds how many LRU-tail pages one eviction may rotate —
+// the hardware access-bit scan budget the kernel would spend.
+const advisorScan = 8
+
+// New builds a VMM.
+func New(cfg Config) *VMM {
+	if cfg.SwapCacheCapPages == 0 {
+		cfg.SwapCacheCapPages = 64
+	}
+	if cfg.InactiveProtect == 0 {
+		cfg.InactiveProtect = 16
+	}
+	return &VMM{
+		cfg:         cfg,
+		groups:      make(map[memsim.PID]*Cgroup),
+		pages:       make(map[memsim.PageKey]*page),
+		everSwapped: make(map[memsim.PageKey]bool),
+	}
+}
+
+// Register creates the cgroup for a process with the given page limit
+// (0 = unlimited). Registering a PID twice is an error.
+func (v *VMM) Register(pid memsim.PID, limitPages int) (*Cgroup, error) {
+	if _, ok := v.groups[pid]; ok {
+		return nil, fmt.Errorf("vmm: pid %d already registered", pid)
+	}
+	g := &Cgroup{pid: pid, limit: limitPages}
+	v.groups[pid] = g
+	return g, nil
+}
+
+// Group returns a process's cgroup.
+func (v *VMM) Group(pid memsim.PID) *Cgroup { return v.groups[pid] }
+
+// Stats returns a copy of the counters.
+func (v *VMM) Stats() Stats { return v.stats }
+
+// Resident returns total resident local pages.
+func (v *VMM) Resident() int { return v.resident }
+
+// Lookup classifies the page without side effects.
+func (v *VMM) Lookup(key memsim.PageKey) PageState {
+	if p, ok := v.pages[key]; ok {
+		return p.state
+	}
+	if v.everSwapped[key] {
+		return SwappedOut
+	}
+	return Untouched
+}
+
+// PPNOf returns the resident page's frame, if any.
+func (v *VMM) PPNOf(key memsim.PageKey) (memsim.PPN, bool) {
+	if p, ok := v.pages[key]; ok {
+		return p.ppn, true
+	}
+	return 0, false
+}
+
+// IsInjected reports whether a mapped page was early-PTE-injected and
+// has not been touched yet.
+func (v *VMM) IsInjected(key memsim.PageKey) bool {
+	p, ok := v.pages[key]
+	return ok && p.injected
+}
+
+func (v *VMM) allocPPN() (memsim.PPN, error) {
+	if v.cfg.PhysPages > 0 && v.resident >= v.cfg.PhysPages {
+		return 0, fmt.Errorf("vmm: out of physical pages (%d resident)", v.resident)
+	}
+	v.stats.Allocs++
+	v.resident++
+	if n := len(v.freePPNs); n > 0 {
+		p := v.freePPNs[n-1]
+		v.freePPNs = v.freePPNs[:n-1]
+		return p, nil
+	}
+	v.nextPPN++
+	return v.nextPPN, nil
+}
+
+func (v *VMM) freePPN(p memsim.PPN) {
+	v.freePPNs = append(v.freePPNs, p)
+	v.resident--
+}
+
+func (v *VMM) group(pid memsim.PID) (*Cgroup, error) {
+	g, ok := v.groups[pid]
+	if !ok {
+		return nil, fmt.Errorf("vmm: pid %d not registered", pid)
+	}
+	return g, nil
+}
+
+// MapNew services a first-touch minor fault: allocate, zero-fill, map.
+func (v *VMM) MapNew(key memsim.PageKey) (memsim.PPN, error) {
+	return v.mapFresh(key, false, &v.stats.MapsNew)
+}
+
+// MapRemote maps a page whose contents just arrived from the remote
+// node, either at the end of a demand major fault (injected=false) or by
+// early PTE injection of a prefetched page (injected=true).
+func (v *VMM) MapRemote(key memsim.PageKey, injected bool) (memsim.PPN, error) {
+	ppn, err := v.mapFresh(key, injected, &v.stats.MapsRemote)
+	if err == nil && injected {
+		v.stats.Injections++
+	}
+	return ppn, err
+}
+
+func (v *VMM) mapFresh(key memsim.PageKey, injected bool, counter *uint64) (memsim.PPN, error) {
+	g, err := v.group(key.PID)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := v.pages[key]; ok {
+		return 0, fmt.Errorf("vmm: page %v already resident", key)
+	}
+	ppn, err := v.allocPPN()
+	if err != nil {
+		return 0, err
+	}
+	p := &page{key: key, ppn: ppn, state: Mapped, injected: injected, charged: true}
+	v.pages[key] = p
+	g.active.pushFront(p)
+	g.charged++
+	*counter++
+	if v.OnSetPTE != nil {
+		v.OnSetPTE(ppn, key.PID, key.VPN)
+	}
+	return ppn, nil
+}
+
+// InsertSwapCache lands a prefetched page in the swapcache, unmapped.
+// Whether it is charged to the cgroup depends on Config.ChargePrefetched.
+func (v *VMM) InsertSwapCache(key memsim.PageKey) (memsim.PPN, error) {
+	g, err := v.group(key.PID)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := v.pages[key]; ok {
+		return 0, fmt.Errorf("vmm: page %v already resident", key)
+	}
+	ppn, err := v.allocPPN()
+	if err != nil {
+		return 0, err
+	}
+	v.insertSeq++
+	p := &page{key: key, ppn: ppn, state: SwapCached, charged: v.cfg.ChargePrefetched, seq: v.insertSeq}
+	v.pages[key] = p
+	g.inactive.pushFront(p)
+	if p.charged {
+		g.charged++
+	}
+	v.stats.SwapCacheInserts++
+	return ppn, nil
+}
+
+// PromoteSwapCache services a prefetch-hit: the faulting page is found
+// in the swapcache and mapped.
+func (v *VMM) PromoteSwapCache(key memsim.PageKey) (memsim.PPN, error) {
+	g, err := v.group(key.PID)
+	if err != nil {
+		return 0, err
+	}
+	p, ok := v.pages[key]
+	if !ok || p.state != SwapCached {
+		return 0, fmt.Errorf("vmm: page %v not in swapcache", key)
+	}
+	g.inactive.remove(p)
+	p.state = Mapped
+	if !p.charged {
+		p.charged = true
+		g.charged++
+	}
+	g.active.pushFront(p)
+	v.stats.Promotions++
+	if v.OnSetPTE != nil {
+		v.OnSetPTE(p.ppn, key.PID, key.VPN)
+	}
+	return p.ppn, nil
+}
+
+// PromoteInjected injects the PTE for a page that is already local in
+// the swapcache — HoPP's cheapest prefetch: no RDMA needed, the fault
+// that would have cost a 2.3 µs prefetch-hit becomes a plain DRAM hit.
+func (v *VMM) PromoteInjected(key memsim.PageKey) (memsim.PPN, error) {
+	ppn, err := v.PromoteSwapCache(key)
+	if err != nil {
+		return 0, err
+	}
+	p := v.pages[key]
+	p.injected = true
+	v.stats.Injections++
+	v.stats.InjectedInPlace++
+	return ppn, nil
+}
+
+// Touch records an ordinary access to a mapped page: LRU promotion and
+// clearing the injected flag (the prefetch has now been consumed).
+func (v *VMM) Touch(key memsim.PageKey) (memsim.PPN, error) {
+	g, err := v.group(key.PID)
+	if err != nil {
+		return 0, err
+	}
+	p, ok := v.pages[key]
+	if !ok || p.state != Mapped {
+		return 0, fmt.Errorf("vmm: touch of non-mapped page %v (%v)", key, v.Lookup(key))
+	}
+	p.injected = false
+	if !v.cfg.LazyLRU {
+		g.active.moveToFront(p)
+	}
+	return p.ppn, nil
+}
+
+// ReclaimIfNeeded evicts pages until the cgroup is back under its limit,
+// preferring charged pages on the inactive (swapcache) list, then the
+// active LRU tail — the kernel's two-list approximation. Uncharged
+// swapcache pages (Fastswap/Leap prefetches, which those systems do not
+// account to the cgroup) are untouched by cgroup reclaim but bounded by
+// SwapCacheCapPages, modelling the global reclaim that would eventually
+// drop them. Victims are returned for the engine to write back and
+// invalidate.
+func (v *VMM) ReclaimIfNeeded(pid memsim.PID) []Victim {
+	g, ok := v.groups[pid]
+	if !ok {
+		return nil
+	}
+	var victims []Victim
+	// Global pressure on unaccounted swapcache pages.
+	for g.inactive.n > v.cfg.SwapCacheCapPages {
+		tail := g.inactive.tail
+		if tail.charged {
+			break // charged pages are handled by cgroup reclaim below
+		}
+		victims = append(victims, v.evict(g, tail))
+	}
+	for g.OverLimit() > 0 {
+		victim, ok := v.evictOne(g)
+		if !ok {
+			break
+		}
+		victims = append(victims, victim)
+	}
+	return victims
+}
+
+func (v *VMM) evictOne(g *Cgroup) (Victim, bool) {
+	var p *page
+	tail := g.inactive.tail
+	switch {
+	case tail != nil && tail.charged && v.insertSeq-tail.seq > v.cfg.InactiveProtect:
+		// A stale unused prefetch: the cheapest, most deserving victim.
+		p = tail
+	case g.active.tail != nil:
+		p = g.active.tail
+		if v.Advisor != nil {
+			// Trace-informed eviction: rotate recently-hot tails back to
+			// MRU instead of evicting them, within the scan budget.
+			for i := 0; i < advisorScan && p != nil && v.Advisor(p.key); i++ {
+				g.active.moveToFront(p)
+				v.stats.AdvisorRescues++
+				p = g.active.tail
+			}
+			if p == nil {
+				return Victim{}, false
+			}
+		}
+	case tail != nil:
+		p = tail // last resort: even fresh prefetches go when nothing else can
+	default:
+		return Victim{}, false
+	}
+	return v.evict(g, p), true
+}
+
+func (v *VMM) evict(g *Cgroup, p *page) Victim {
+	vic := Victim{
+		Key:           p.key,
+		PPN:           p.ppn,
+		WasMapped:     p.state == Mapped,
+		WasInjected:   p.injected,
+		WasSwapCached: p.state == SwapCached,
+	}
+	if p.state == Mapped {
+		g.active.remove(p)
+		if v.OnClearPTE != nil {
+			v.OnClearPTE(p.ppn)
+		}
+	} else {
+		g.inactive.remove(p)
+		v.stats.EvictedSwapCached++
+	}
+	if p.injected {
+		v.stats.EvictedInjected++
+	}
+	if p.charged {
+		g.charged--
+	}
+	delete(v.pages, p.key)
+	v.everSwapped[p.key] = true
+	v.freePPN(p.ppn)
+	v.stats.Evictions++
+	return vic
+}
+
+// EvictPage forcibly evicts a specific resident page (used by failure
+// injection tests and by shootdown scenarios).
+func (v *VMM) EvictPage(key memsim.PageKey) (Victim, error) {
+	p, ok := v.pages[key]
+	if !ok {
+		return Victim{}, fmt.Errorf("vmm: page %v not resident", key)
+	}
+	g := v.groups[key.PID]
+	return v.evict(g, p), nil
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hopp/internal/memsim"
+)
+
+// This file builds pattern-faithful generators for the Table IV
+// programs. Footprints are scaled (GB → MB); the comment on each
+// constructor records the pattern structure being reproduced and why it
+// matches the program.
+
+// NewOMPKMeans models the C/OpenMP K-means of Table IV: one large
+// contiguous array of points scanned sequentially every iteration, plus
+// a small hot centroid block. This is the cleanest simple-stream
+// workload in the suite — the paper reports >99% coverage on it.
+func NewOMPKMeans(pages, iterations int) *Base {
+	points := Region{Name: "points", Start: 0x10000, Pages: pages}
+	centroids := Region{Name: "centroids", Start: 0x8000, Pages: 256}
+	return NewBase("OMP-KMeans", []Region{points, centroids}, defaultThink, iterations, func(rng *rand.Rand) []visit {
+		var out []visit
+		for i := 0; i < points.Pages; i++ {
+			out = append(out, visit{vpn: points.Start + memsim.VPN(i), lines: memsim.LinesPerPage})
+			if i%4 == 0 {
+				// Centroid distance reads: the long-resident cluster data
+				// is re-read throughout; its pages keep turning hot long
+				// after their PTEs were established.
+				out = append(out, visit{vpn: centroids.Start + memsim.VPN(rng.Intn(centroids.Pages)), lines: 8})
+			}
+		}
+		return out
+	})
+}
+
+// NewQuicksort models quicksort over a large array: each partition level
+// is a sequential two-pointer scan of a halving subrange. The access
+// stream is a hierarchy of clean sequential runs — highly prefetchable,
+// matching the paper's >99% coverage for Quicksort.
+func NewQuicksort(pages int) *Base {
+	arr := Region{Name: "array", Start: 0x10000, Pages: pages}
+	return NewBase("Quicksort", []Region{arr}, defaultThink, 1, func(*rand.Rand) []visit {
+		var out []visit
+		// Initial fill (write) then recursive partitions down to 32-page
+		// leaves; each level scans its range front-to-back (the two
+		// pointers converging visit every page once).
+		out = append(out, seqVisits(arr.Start, arr.Pages, true)...)
+		var rec func(lo, hi int)
+		rec = func(lo, hi int) {
+			if hi-lo < 32 {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				out = append(out, visit{vpn: arr.Start + memsim.VPN(i), lines: memsim.LinesPerPage})
+			}
+			mid := (lo + hi) / 2
+			rec(lo, mid)
+			rec(mid, hi)
+		}
+		rec(0, arr.Pages)
+		return out
+	})
+}
+
+// NewHPL models High Performance Linpack's trailing-matrix update: for
+// each factorization step, the panel block is re-read while successive
+// block columns are updated. Interleaving the panel stream with each
+// unevenly offset column stream produces exactly the ladder pattern of
+// Fig. 2 ("common in matrix multiplication's footprint", §II-B).
+func NewHPL(cols, colPages int) *Base {
+	m := Region{Name: "matrix", Start: 0x10000, Pages: cols * colPages}
+	return NewBase("HPL", []Region{m}, defaultThink, 1, func(*rand.Rand) []visit {
+		var out []visit
+		steps := cols / 4
+		// The vectorized update walks three row blocks of the column at
+		// unevenly spaced offsets — Fig. 2's ladder tread, entirely
+		// within Δ_stream so only LSP can extrapolate it.
+		treadOffsets := []int{0, 10, 35}
+		for k := 0; k < steps; k++ {
+			panel := m.Start + memsim.VPN(4*k*colPages)
+			// Rows below the diagonal shrink as factorization proceeds.
+			rowOff := k * colPages / (2 * steps)
+			rows := colPages - rowOff
+			for j := 4 * (k + 1); j < cols; j += 4 {
+				// Panel re-read: a clean stream SSP handles.
+				out = append(out, stridedVisits(panel+memsim.VPN(rowOff), 1, rows, memsim.LinesPerPage, false)...)
+				// Column update: ladder tread over the row blocks.
+				col := int64(m.Start) + int64(j*colPages+rowOff)
+				for i := 0; i < rows-treadOffsets[len(treadOffsets)-1]; i++ {
+					for _, s := range treadOffsets {
+						out = append(out, visit{vpn: memsim.VPN(col + int64(s+i)), lines: memsim.LinesPerPage})
+					}
+				}
+			}
+		}
+		return out
+	})
+}
+
+// NewNPBCG models the NPB conjugate-gradient kernel: long sequential
+// scans of the sparse matrix arrays with random gathers into the vector
+// — a clean stream punctuated by interference pages (limitation ③ of
+// §II-B).
+func NewNPBCG(pages, iterations int) *Base {
+	mat := Region{Name: "matrix", Start: 0x10000, Pages: pages}
+	vec := Region{Name: "x", Start: 0x8000, Pages: 256}
+	return NewBase("NPB-CG", []Region{mat, vec}, defaultThink, iterations, func(rng *rand.Rand) []visit {
+		var out []visit
+		for i := 0; i < mat.Pages; i++ {
+			out = append(out, visit{vpn: mat.Start + memsim.VPN(i), lines: memsim.LinesPerPage})
+			if rng.Intn(3) == 0 {
+				out = append(out, visit{vpn: vec.Start + memsim.VPN(rng.Intn(vec.Pages)), lines: 4})
+			}
+		}
+		return out
+	})
+}
+
+// NewNPBFT models the NPB 3-D FFT kernel: each butterfly stage scans the
+// array with a doubling page stride — a sequence of distinct simple
+// streams that exercises stride re-detection.
+func NewNPBFT(pages int) *Base {
+	arr := Region{Name: "spectrum", Start: 0x10000, Pages: pages}
+	return NewBase("NPB-FT", []Region{arr}, defaultThink, 1, func(*rand.Rand) []visit {
+		var out []visit
+		for stride := int64(1); stride <= 8; stride *= 2 {
+			for phase := int64(0); phase < stride; phase++ {
+				count := pages / int(stride)
+				out = append(out, stridedVisits(arr.Start+memsim.VPN(phase), stride, count, memsim.LinesPerPage, false)...)
+			}
+		}
+		return out
+	})
+}
+
+// NewNPBLU models the NPB LU solver: per pseudo-time step, wavefront
+// sweeps with a ladder structure like HPL's but shallower. Iterations
+// re-traverse the whole grid, which is what creates memory pressure.
+func NewNPBLU(planes, planePages, iterations int) *Base {
+	g := Region{Name: "grid", Start: 0x10000, Pages: planes * planePages}
+	return NewBase("NPB-LU", []Region{g}, defaultThink, iterations, func(*rand.Rand) []visit {
+		var out []visit
+		for k := 0; k < planes-1; k++ {
+			a := stridedVisits(g.Start+memsim.VPN(k*planePages), 1, planePages, memsim.LinesPerPage, false)
+			b := stridedVisits(g.Start+memsim.VPN((k+1)*planePages+3), 1, planePages-3, memsim.LinesPerPage, false)
+			out = append(out, interleave(a, b)...)
+		}
+		return out
+	})
+}
+
+// NewNPBMG models the NPB multigrid kernel: stencil sweeps over a grid
+// whose neighbour accesses distort the stride-1 scan into the ripple
+// pattern of Fig. 3 — the workload where RSP earns its keep (§VI-D).
+func NewNPBMG(pages, cycles int) *Base {
+	g := Region{Name: "grid", Start: 0x10000, Pages: pages + 8}
+	return NewBase("NPB-MG", []Region{g}, defaultThink, cycles, func(rng *rand.Rand) []visit {
+		var out []visit
+		// Fine-grid relaxation: ripple sweep (out-of-order stencil).
+		v := int64(g.Start)
+		end := int64(g.Start) + int64(pages)
+		for v < end {
+			out = append(out, visit{vpn: memsim.VPN(v), lines: memsim.LinesPerPage})
+			switch rng.Intn(5) {
+			case 0:
+				out = append(out, visit{vpn: memsim.VPN(v + 2), lines: memsim.LinesPerPage},
+					visit{vpn: memsim.VPN(v + 1), lines: memsim.LinesPerPage})
+				v += 3
+			case 1:
+				out = append(out, visit{vpn: memsim.VPN(v + 3), lines: 16})
+				v++
+			default:
+				v++
+			}
+		}
+		// Coarse grids: strided restriction sweeps.
+		for stride := int64(8); stride <= 64; stride *= 8 {
+			out = append(out, stridedVisits(g.Start, stride, pages/int(stride), 16, false)...)
+		}
+		// Prolongation: the V-cycle comes back UP the grid — a descending
+		// fine-grid sweep. Ascending-only prefetchers (readahead, Depth-N)
+		// fetch pure junk here; Depth-N's junk is PTE-injected and charged,
+		// which is §II-C's pollution cost.
+		for p := int64(g.Start) + int64(pages) - 1; p >= int64(g.Start); p-- {
+			out = append(out, visit{vpn: memsim.VPN(p), lines: memsim.LinesPerPage})
+		}
+		return out
+	})
+}
+
+// NewNPBIS models the NPB integer sort: a sequential scan of the keys
+// with scattered counting writes into a bucket array — sequential read
+// stream plus write noise the MC's READ-only filter must ignore.
+func NewNPBIS(pages int) *Base {
+	keys := Region{Name: "keys", Start: 0x10000, Pages: pages}
+	buckets := Region{Name: "buckets", Start: 0x8000, Pages: 512}
+	return NewBase("NPB-IS", []Region{keys, buckets}, defaultThink, 1, func(rng *rand.Rand) []visit {
+		var out []visit
+		for i := 0; i < keys.Pages; i++ {
+			out = append(out, visit{vpn: keys.Start + memsim.VPN(i), lines: memsim.LinesPerPage})
+			out = append(out, visit{vpn: buckets.Start + memsim.VPN(rng.Intn(buckets.Pages)), lines: 2, write: true})
+		}
+		// Final bucket walk.
+		out = append(out, seqVisits(buckets.Start, buckets.Pages, false)...)
+		return out
+	})
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hopp/internal/memsim"
+)
+
+// Spark/JVM workload models. §VI-B: "Spark divides the K-means workload
+// into multiple stages, each stage writes the data into a different
+// memory area ... this leads to more stream patterns in Spark
+// applications, and the length of the stream is relatively small, thus
+// the repetitive patterns might stop before HoPP finishes identifying
+// them." We reproduce that by giving each stage its own region, keeping
+// streams short, and sprinkling GC-like scattered touches over older
+// stages.
+
+// sparkConfig shapes a staged JVM workload.
+type sparkConfig struct {
+	name string
+	// stages is the number of Spark stages; each gets its own region.
+	stages int
+	// pagesPerStage is the region size per stage.
+	pagesPerStage int
+	// runLen is the sequential run length within a stage before the
+	// generator hops to another offset (short streams).
+	runLen int
+	// gatherFrac is the expected number of random gathers into earlier
+	// stages' regions (shuffle reads) per page visit; values above 1
+	// mean several gathers per visit.
+	gatherFrac float64
+	// gatherLines is how many cachelines each gather touches (a tiny
+	// vertex read vs a record read). Default 8.
+	gatherLines uint8
+	// gcEvery inserts a GC-like scattered sweep after this many visits
+	// (0 disables).
+	gcEvery int
+	// supersteps repeats the whole staged program, as GraphX supersteps
+	// and K-means iterations do. Default 1.
+	supersteps int
+}
+
+func newSpark(cfg sparkConfig) *Base {
+	if cfg.gatherLines == 0 {
+		cfg.gatherLines = 8
+	}
+	if cfg.supersteps == 0 {
+		cfg.supersteps = 1
+	}
+	if cfg.runLen > cfg.pagesPerStage {
+		cfg.runLen = cfg.pagesPerStage
+	}
+	regions := make([]Region, cfg.stages)
+	for i := range regions {
+		regions[i] = Region{
+			Name:  fmt.Sprintf("stage%d", i),
+			Start: memsim.VPN(0x10000 + i*0x40000),
+			Pages: cfg.pagesPerStage,
+		}
+	}
+	return NewBase(cfg.name, regions, defaultThink, cfg.supersteps, func(rng *rand.Rand) []visit {
+		var out []visit
+		sinceGC := 0
+		emit := func(v visit) {
+			out = append(out, v)
+			sinceGC++
+			if cfg.gcEvery > 0 && sinceGC >= cfg.gcEvery {
+				sinceGC = 0
+				// Minor GC: scattered touches over a random earlier region,
+				// too few lines per page to pass the hot threshold.
+				r := regions[rng.Intn(len(regions))]
+				for j := 0; j < 32; j++ {
+					out = append(out, visit{
+						vpn:   r.Start + memsim.VPN(rng.Intn(r.Pages)),
+						lines: 4,
+					})
+				}
+			}
+		}
+		for s, r := range regions {
+			// The stage writes its output region in short runs at hopping
+			// offsets (JVM allocation order is not address order).
+			offsets := rng.Perm(cfg.pagesPerStage / cfg.runLen)
+			for _, o := range offsets {
+				base := r.Start + memsim.VPN(o*cfg.runLen)
+				for i := 0; i < cfg.runLen; i++ {
+					emit(visit{vpn: base + memsim.VPN(i), lines: memsim.LinesPerPage, write: s%2 == 1})
+					if s == 0 {
+						continue
+					}
+					gathers := int(cfg.gatherFrac)
+					if rng.Float64() < cfg.gatherFrac-float64(gathers) {
+						gathers++
+					}
+					for gi := 0; gi < gathers; gi++ {
+						// Shuffle read from a previous stage. Vertex-style
+						// gathers are skewed: most hit a hot quarter of the
+						// region that stays resident; the tail is uniform.
+						pr := regions[rng.Intn(s)]
+						var p int
+						if rng.Float64() < 0.8 {
+							p = rng.Intn(pr.Pages / 4)
+						} else {
+							p = rng.Intn(pr.Pages)
+						}
+						emit(visit{vpn: pr.Start + memsim.VPN(p), lines: cfg.gatherLines})
+					}
+				}
+			}
+		}
+		return out
+	})
+}
+
+// NewGraphX models the GraphX workloads (BFS, CC, PR, LP) running on
+// Spark: supersteps scanning an edge region sequentially with random
+// vertex gathers, per-superstep output regions, and GC noise. The four
+// algorithms differ in gather intensity and superstep count.
+func NewGraphX(algo string, edgePages int) *Base {
+	cfg := sparkConfig{
+		name:          "GraphX-" + algo,
+		stages:        3,
+		pagesPerStage: edgePages,
+		runLen:        48,
+		gatherFrac:    0.15,
+		gcEvery:       4096,
+		supersteps:    3,
+	}
+	switch algo {
+	case "BFS":
+		cfg.gatherFrac, cfg.gatherLines, cfg.stages = 0.5, 4, 4
+	case "CC":
+		cfg.gatherFrac, cfg.gatherLines = 0.6, 4
+	case "PR":
+		// PageRank's rank gathers are tiny (one vertex's rank) and very
+		// frequent — the Table II workload with the highest repeated
+		// hot-page extraction rate at small N.
+		cfg.gatherFrac, cfg.gatherLines, cfg.runLen = 2.5, 2, 64
+	case "LP":
+		cfg.gatherFrac, cfg.gatherLines = 0.4, 4
+	default:
+		panic("workload: unknown GraphX algorithm " + algo)
+	}
+	return newSpark(cfg)
+}
+
+// NewSparkKMeans models K-means on Spark: cleaner scans than GraphX
+// (it is the Spark workload HoPP accelerates most, §VI-B) but still
+// staged with a smaller footprint.
+func NewSparkKMeans(pages int) *Base {
+	return newSpark(sparkConfig{
+		name:          "Spark-KMeans",
+		stages:        4,
+		pagesPerStage: pages / 4,
+		runLen:        96,
+		gatherFrac:    0.05,
+		gcEvery:       8192,
+		supersteps:    4,
+	})
+}
+
+// NewSparkBayes models naive Bayes training on Spark: wide shuffles,
+// heavy gathers, short runs — the hardest workload for any prefetcher.
+func NewSparkBayes(pages int) *Base {
+	return newSpark(sparkConfig{
+		name:          "Spark-Bayes",
+		stages:        4,
+		pagesPerStage: pages / 4,
+		runLen:        24,
+		gatherFrac:    0.35,
+		gatherLines:   4,
+		gcEvery:       2048,
+		supersteps:    2,
+	})
+}

@@ -1,0 +1,223 @@
+// Package workload generates the memory access patterns of the paper's
+// evaluation programs (Table IV) and of the motivating microbenchmarks
+// (Figs. 1–3). Generators emit cacheline-granularity reads/writes with
+// per-access think time; footprints are scaled from the paper's GBs to
+// tens of MBs so whole runs finish in seconds, which preserves every
+// shape that matters (stream structure, reuse, interleaving) because
+// prefetch quality depends on the address sequence, not on absolute
+// size.
+//
+// Internally a generator is a compact "page program" — a list of page
+// visits, each expanded into a burst of line accesses on the fly — so
+// multi-million-access runs cost a few hundred KB.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr  memsim.VAddr
+	Write bool
+	// Think is CPU time spent before this access.
+	Think vclock.Duration
+}
+
+// Region is one mapped memory area (the VMA analogue).
+type Region struct {
+	Name  string
+	Start memsim.VPN
+	Pages int
+	// Shared marks a region shared between processes (read-only data,
+	// shared libraries); the RPT forwards the flag to the software
+	// (§III-C) which can treat such pages specially.
+	Shared bool
+}
+
+// End returns the first VPN past the region.
+func (r Region) End() memsim.VPN { return r.Start + memsim.VPN(r.Pages) }
+
+// Contains reports whether the VPN falls inside the region.
+func (r Region) Contains(v memsim.VPN) bool { return v >= r.Start && v < r.End() }
+
+// Generator produces a finite access stream.
+type Generator interface {
+	// Name identifies the workload in experiment output.
+	Name() string
+	// Regions lists the workload's memory areas (for footprint sizing
+	// and the VMA prefetcher).
+	Regions() []Region
+	// FootprintPages is the total distinct pages the workload touches.
+	FootprintPages() int
+	// Reset rewinds the stream, rebuilding any randomized parts from
+	// seed. Must be called before the first Next.
+	Reset(seed int64)
+	// Next returns the next access; ok = false at the end of the run.
+	Next() (Access, bool)
+}
+
+// visit is one page-program step: touch `lines` cachelines of the page,
+// starting at line `firstLine`, sequentially (wrapping within the page).
+type visit struct {
+	vpn       memsim.VPN
+	firstLine uint8
+	lines     uint8
+	write     bool
+}
+
+// Base implements Generator from a page program built by a closure.
+type Base struct {
+	name    string
+	regions []Region
+	think   vclock.Duration
+	loops   int
+	build   func(rng *rand.Rand) []visit
+
+	visits    []visit
+	vi        int
+	li        int
+	loop      int
+	footprint int
+}
+
+// NewBase assembles a generator. think is charged per line access; loops
+// is how many passes to run over the page program (iterative apps);
+// build constructs the program, using rng for any irregular parts.
+func NewBase(name string, regions []Region, think vclock.Duration, loops int, build func(rng *rand.Rand) []visit) *Base {
+	if loops <= 0 {
+		loops = 1
+	}
+	return &Base{name: name, regions: regions, think: think, loops: loops, build: build}
+}
+
+// Name implements Generator.
+func (b *Base) Name() string { return b.name }
+
+// Regions implements Generator.
+func (b *Base) Regions() []Region { return b.regions }
+
+// FootprintPages implements Generator: the number of *distinct* pages
+// the program actually touches (memory limits are fractions of this).
+// The count always comes from a canonical seed-0 build and is cached, so
+// limits are identical across runs regardless of the run seed; for
+// randomized programs the distinct count is stable across seeds to
+// within a few pages anyway.
+func (b *Base) FootprintPages() int {
+	if b.footprint == 0 {
+		visits := b.build(rand.New(rand.NewSource(0)))
+		seen := make(map[memsim.VPN]struct{}, len(visits))
+		for _, v := range visits {
+			seen[v.vpn] = struct{}{}
+		}
+		b.footprint = len(seen)
+	}
+	return b.footprint
+}
+
+// RegionPages returns the total declared region size (the VMA extent,
+// which can exceed the touched footprint).
+func (b *Base) RegionPages() int {
+	n := 0
+	for _, r := range b.regions {
+		n += r.Pages
+	}
+	return n
+}
+
+// Reset implements Generator.
+func (b *Base) Reset(seed int64) {
+	b.visits = b.build(rand.New(rand.NewSource(seed)))
+	if len(b.visits) == 0 {
+		panic(fmt.Sprintf("workload %s: empty page program (check size parameters)", b.name))
+	}
+	for _, v := range b.visits {
+		if v.lines == 0 {
+			panic(fmt.Sprintf("workload %s: zero-line visit of page %d", b.name, v.vpn))
+		}
+	}
+	b.vi, b.li, b.loop = 0, 0, 0
+}
+
+// Next implements Generator.
+func (b *Base) Next() (Access, bool) {
+	if b.visits == nil {
+		panic("workload: Next before Reset")
+	}
+	for b.vi == len(b.visits) {
+		b.loop++
+		if b.loop >= b.loops {
+			return Access{}, false
+		}
+		b.vi, b.li = 0, 0
+	}
+	v := b.visits[b.vi]
+	line := (int(v.firstLine) + b.li) % memsim.LinesPerPage
+	addr := memsim.VAddr(uint64(v.vpn)<<memsim.PageShift | uint64(line)<<memsim.LineShift)
+	b.li++
+	if b.li >= int(v.lines) {
+		b.vi++
+		b.li = 0
+	}
+	return Access{Addr: addr, Write: v.write, Think: b.think}, true
+}
+
+// TotalAccesses returns the exact access count of a full run (all loops).
+func (b *Base) TotalAccesses() int {
+	if b.visits == nil {
+		b.Reset(0)
+	}
+	n := 0
+	for _, v := range b.visits {
+		n += int(v.lines)
+	}
+	return n * b.loops
+}
+
+// interleave round-robins several page programs into one, modeling
+// concurrently advancing streams within one process.
+func interleave(progs ...[]visit) []visit {
+	var out []visit
+	idx := make([]int, len(progs))
+	for {
+		done := true
+		for s := range progs {
+			if idx[s] < len(progs[s]) {
+				out = append(out, progs[s][idx[s]])
+				idx[s]++
+				done = false
+			}
+		}
+		if done {
+			return out
+		}
+	}
+}
+
+// seqVisits emits pages [start, start+pages) in order, touching all 64
+// lines of each (a full sequential scan).
+func seqVisits(start memsim.VPN, pages int, write bool) []visit {
+	out := make([]visit, 0, pages)
+	for i := 0; i < pages; i++ {
+		out = append(out, visit{vpn: start + memsim.VPN(i), lines: memsim.LinesPerPage, write: write})
+	}
+	return out
+}
+
+// stridedVisits emits pages start, start+stride, ... (count pages),
+// touching linesPerPage lines of each.
+func stridedVisits(start memsim.VPN, stride int64, count int, lines uint8, write bool) []visit {
+	out := make([]visit, 0, count)
+	v := int64(start)
+	for i := 0; i < count; i++ {
+		if v > 0 {
+			out = append(out, visit{vpn: memsim.VPN(v), lines: lines, write: write})
+		}
+		v += stride
+	}
+	return out
+}
