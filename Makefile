@@ -1,0 +1,13 @@
+# Convenience targets; the authoritative commands live in ROADMAP.md
+# (tier-1) and scripts/check.sh (quick race-mode gate).
+
+.PHONY: build test check
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+check:
+	sh scripts/check.sh

@@ -1,0 +1,85 @@
+// Command hoppd serves HoPP simulations over HTTP: submissions fan out
+// to a bounded worker pool, identical requests hit an LRU result cache,
+// and /metrics exposes the engine's runtime counters. See internal/
+// service for the API surface.
+//
+// Usage:
+//
+//	hoppd -addr :8080
+//	curl -XPOST localhost:8080/v1/runs -d '{"workload":"npb-mg","system":"hopp","frac":0.5,"seed":1}'
+//	curl localhost:8080/v1/runs/r000001
+//	curl -XPOST 'localhost:8080/v1/experiments/fig9?quick=true'
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes, then
+// queued and in-flight runs drain (up to -drain-timeout) before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hopp/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hoppd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "result cache entries")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	engine := service.NewEngine(service.Options{Workers: *workers, CacheEntries: *cache})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(engine)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "hoppd: listening on %s (%d workers)\n", *addr, engine.Metrics().Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "hoppd: shutting down, draining runs...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	serr := srv.Shutdown(drainCtx)
+	if errors.Is(serr, http.ErrServerClosed) {
+		serr = nil
+	}
+	if err := engine.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if serr != nil {
+		return serr
+	}
+	fmt.Fprintln(os.Stderr, "hoppd: drained cleanly")
+	return nil
+}

@@ -14,14 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
 	"time"
 
 	"hopp"
+	"hopp/internal/service"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (breakdown, table2..table5, fig1..fig22) or 'all'")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -31,15 +34,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
-		fmt.Println("Available experiments (use -exp <id>):")
-		for _, e := range hopp.Experiments() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
-		}
-		if *exp == "" && !*list {
-			os.Exit(2)
-		}
-		return
+	if *list {
+		printExperiments(os.Stdout)
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hoppexp: missing -exp; available experiments:")
+		printExperiments(os.Stderr)
+		return 2
 	}
 
 	opts := hopp.ExperimentOptions{Seed: *seed, Quick: *quick}
@@ -55,41 +57,47 @@ func main() {
 			start := time.Now()
 			if err := hopp.RunExperiment(id, opts, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "hoppexp: %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
 		}
-		return
+		return 0
 	}
 
 	// Parallel mode: experiments are independent and deterministic, so
-	// they run concurrently; output is buffered and printed in order.
+	// they fan out over the service worker pool; output is buffered per
+	// experiment and printed in submission order.
 	type result struct {
 		out bytes.Buffer
 		err error
 		dur time.Duration
 	}
 	results := make([]result, len(ids))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	pool := service.NewPool(0)
 	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, id string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		if err := pool.Submit(func() {
 			start := time.Now()
 			results[i].err = hopp.RunExperiment(id, opts, &results[i].out)
 			results[i].dur = time.Since(start)
-		}(i, id)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "hoppexp: %s: %v\n", id, err)
+			return 1
+		}
 	}
-	wg.Wait()
+	pool.Close() // drains: every submitted experiment has finished
 	for i, id := range ids {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "hoppexp: %s: %v\n", id, results[i].err)
-			os.Exit(1)
+			return 1
 		}
 		os.Stdout.Write(results[i].out.Bytes())
 		fmt.Printf("[%s finished in %.1fs]\n\n", id, results[i].dur.Seconds())
+	}
+	return 0
+}
+
+func printExperiments(w *os.File) {
+	for _, e := range hopp.Experiments() {
+		fmt.Fprintf(w, "  %-8s %s\n", e.ID, e.Title)
 	}
 }

@@ -1,5 +1,7 @@
 // Command hoppsim runs one workload under one remote-memory system and
-// prints the §VI-A metrics.
+// prints the §VI-A metrics. Workload and system names resolve through
+// the same catalog the hoppd daemon serves, so anything runnable here is
+// submittable there and vice versa.
 //
 // Usage:
 //
@@ -12,117 +14,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"hopp"
+	"hopp/internal/service"
 )
 
-// workloads maps CLI names to generators at the standard evaluation
-// scale.
-func workloads() map[string]func() hopp.Workload {
-	w := hopp.Workloads
-	return map[string]func() hopp.Workload{
-		"sequential":   func() hopp.Workload { return w.Sequential(4096, 3) },
-		"intertwined":  func() hopp.Workload { return w.Intertwined(2048, 0.05) },
-		"ladder":       func() hopp.Workload { return w.Ladder(2048, 3) },
-		"ripple":       func() hopp.Workload { return w.Ripple(2048, 3) },
-		"addup":        func() hopp.Workload { return w.AddUp(2, 2048) },
-		"omp-kmeans":   func() hopp.Workload { return w.OMPKMeans(3072, 3) },
-		"quicksort":    func() hopp.Workload { return w.Quicksort(3072) },
-		"hpl":          func() hopp.Workload { return w.HPL(32, 96) },
-		"npb-cg":       func() hopp.Workload { return w.NPBCG(3072, 2) },
-		"npb-ft":       func() hopp.Workload { return w.NPBFT(2048) },
-		"npb-lu":       func() hopp.Workload { return w.NPBLU(24, 128, 2) },
-		"npb-mg":       func() hopp.Workload { return w.NPBMG(2048, 2) },
-		"npb-is":       func() hopp.Workload { return w.NPBIS(2048) },
-		"graphx-bfs":   func() hopp.Workload { return w.GraphX("BFS", 768) },
-		"graphx-cc":    func() hopp.Workload { return w.GraphX("CC", 768) },
-		"graphx-pr":    func() hopp.Workload { return w.GraphX("PR", 768) },
-		"graphx-lp":    func() hopp.Workload { return w.GraphX("LP", 768) },
-		"spark-kmeans": func() hopp.Workload { return w.SparkKMeans(2048) },
-		"spark-bayes":  func() hopp.Workload { return w.SparkBayes(2048) },
-	}
-}
-
-func systems() map[string]func() hopp.System {
-	return map[string]func() hopp.System{
-		"hopp":       hopp.HoPP,
-		"fastswap":   hopp.Fastswap,
-		"leap":       hopp.Leap,
-		"vma":        hopp.VMA,
-		"depth-16":   func() hopp.System { return hopp.DepthN(16) },
-		"depth-32":   func() hopp.System { return hopp.DepthN(32) },
-		"noprefetch": hopp.NoPrefetch,
-		"hopp-markov": func() hopp.System {
-			p := hopp.DefaultParams()
-			p.Algorithm = "markov"
-			s := hopp.HoPPWith(p)
-			s.Name = "HoPP-markov"
-			return s
-		},
-		"hopp-bulk": func() hopp.System {
-			p := hopp.DefaultParams()
-			p.Bulk.Enable = true
-			s := hopp.HoPPWith(p)
-			s.Name = "HoPP-bulk"
-			return s
-		},
-		"hopp-smartevict": func() hopp.System {
-			p := hopp.DefaultParams()
-			p.SmartEviction = true
-			s := hopp.HoPPWith(p)
-			s.Name = "HoPP-smartevict"
-			return s
-		},
-	}
-}
-
-func names[V any](m map[string]V) string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return strings.Join(out, ", ")
-}
-
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		wl   = flag.String("workload", "omp-kmeans", "workload name")
-		sys  = flag.String("system", "hopp", "system name")
-		frac = flag.Float64("frac", 0.5, "local memory as a fraction of the footprint (0 = all local)")
-		seed = flag.Int64("seed", 1, "randomness seed")
-		list = flag.Bool("list", false, "list workloads and systems")
+		wl    = flag.String("workload", "omp-kmeans", "workload name")
+		sys   = flag.String("system", "hopp", "system name")
+		frac  = flag.Float64("frac", 0.5, "local memory as a fraction of the footprint (0 = all local)")
+		seed  = flag.Int64("seed", 1, "randomness seed")
+		quick = flag.Bool("quick", false, "shrink the workload ~4x")
+		list  = flag.Bool("list", false, "list workloads and systems")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("workloads:", names(workloads()))
-		fmt.Println("systems:  ", names(systems()))
-		return
+		fmt.Println("workloads:", strings.Join(hopp.ServiceWorkloads(), ", "))
+		fmt.Println("systems:  ", strings.Join(hopp.ServiceSystems(), ", "))
+		return 0
 	}
-	newGen, ok := workloads()[*wl]
+	gen, ok := service.NewWorkload(*wl, *quick)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hoppsim: unknown workload %q (have: %s)\n", *wl, names(workloads()))
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "hoppsim: unknown workload %q (have: %s)\n",
+			*wl, strings.Join(hopp.ServiceWorkloads(), ", "))
+		return 2
 	}
-	newSys, ok := systems()[*sys]
+	system, ok := service.NewSystem(*sys)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hoppsim: unknown system %q (have: %s)\n", *sys, names(systems()))
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "hoppsim: unknown system %q (have: %s)\n",
+			*sys, strings.Join(hopp.ServiceSystems(), ", "))
+		return 2
+	}
+	if *frac < 0 || *frac >= 1 {
+		fmt.Fprintf(os.Stderr, "hoppsim: -frac must be in [0, 1), got %g\n", *frac)
+		return 2
 	}
 
-	gen := newGen()
 	local, err := hopp.Run(hopp.NoPrefetch(), gen, 0, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hoppsim:", err)
-		os.Exit(1)
+		return 1
 	}
-	met, err := hopp.Run(newSys(), gen, *frac, *seed)
+	met, err := hopp.Run(system, gen, *frac, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hoppsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("workload          %s (%d pages footprint)\n", gen.Name(), gen.FootprintPages())
@@ -147,4 +90,5 @@ func main() {
 			met.LeadBuckets[0], met.LeadBuckets[1], met.LeadBuckets[2],
 			met.LeadBuckets[3], met.LeadBuckets[4], met.LeadBuckets[5])
 	}
+	return 0
 }

@@ -24,26 +24,30 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	threshold := flag.Int("n", 8, "hot page threshold N")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-n N] <trace.hmtt>")
-		os.Exit(2)
+		return 2
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	recs, err := hmtt.ReadTrace(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
-		os.Exit(1)
+		return 1
 	}
 	if len(recs) == 0 {
 		fmt.Fprintln(os.Stderr, "traceanalyze: empty trace")
-		os.Exit(1)
+		return 1
 	}
 
 	det := hpd.MustNew(hpd.Config{Threshold: *threshold})
@@ -94,4 +98,5 @@ func main() {
 	}
 	fmt.Printf("unidentified      %d hot pages produced no prediction\n",
 		uint64(hot)-total-ts.Duplicates)
+	return 0
 }

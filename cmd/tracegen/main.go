@@ -38,6 +38,10 @@ func generators() map[string]func() hopp.Workload {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		wl   = flag.String("workload", "sequential", "workload to trace")
 		out  = flag.String("out", "-", "output file ('-' = stdout)")
@@ -49,15 +53,21 @@ func main() {
 	newGen, ok := generators()[*wl]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *wl)
-		os.Exit(2)
+		return 2
 	}
+	if err := generate(newGen(), *out, *max, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return 1
+	}
+	return 0
+}
 
+func generate(gen hopp.Workload, out string, max int, seed int64) error {
 	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		bw := bufio.NewWriter(f)
@@ -65,13 +75,12 @@ func main() {
 		w = bw
 	}
 
-	gen := newGen()
-	gen.Reset(*seed)
+	gen.Reset(seed)
 	h := cachesim.DefaultHierarchy()
 	cap := hmtt.NewCapture(4096)
 	written := 0
 	now := vclock.Time(0)
-	for written < *max {
+	for written < max {
 		a, ok := gen.Next()
 		if !ok {
 			break
@@ -84,8 +93,7 @@ func main() {
 			if cap.Pending() >= 1024 {
 				recs := cap.Drain(0)
 				if err := hmtt.WriteTrace(w, recs); err != nil {
-					fmt.Fprintln(os.Stderr, "tracegen:", err)
-					os.Exit(1)
+					return err
 				}
 				written += len(recs)
 			}
@@ -95,10 +103,10 @@ func main() {
 	}
 	recs := cap.Drain(0)
 	if err := hmtt.WriteTrace(w, recs); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
 	written += len(recs)
 	fmt.Fprintf(os.Stderr, "tracegen: %d records (%d bytes), %d observed, %d dropped\n",
 		written, written*hmtt.RecordSize, cap.Observed(), cap.Dropped())
+	return nil
 }

@@ -28,10 +28,13 @@
 package hopp
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"hopp/internal/core"
 	"hopp/internal/experiments"
+	"hopp/internal/service"
 	"hopp/internal/sim"
 	"hopp/internal/workload"
 )
@@ -88,6 +91,13 @@ func NewMachine(cfg Config, gens ...Workload) (*Machine, error) {
 // frac of the workload footprint (0 = all local).
 func Run(sys System, gen Workload, frac float64, seed int64) (Metrics, error) {
 	return sim.RunWorkload(sys, gen, frac, seed)
+}
+
+// RunContext is Run honoring cancellation and deadlines: when ctx is
+// done the simulation aborts at its next poll and returns ctx.Err()
+// alongside partial metrics.
+func RunContext(ctx context.Context, sys System, gen Workload, frac float64, seed int64) (Metrics, error) {
+	return sim.RunWorkloadContext(ctx, sys, gen, frac, seed)
 }
 
 // Compare runs the workload locally and under every given system.
@@ -195,9 +205,48 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 	return nil
 }
 
+// RunExperimentContext is RunExperiment honoring cancellation: the
+// first simulation to observe a done ctx fails the experiment with
+// ctx.Err().
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions, w io.Writer) error {
+	opts.Ctx = ctx
+	return RunExperiment(id, opts, w)
+}
+
 // UnknownExperimentError reports a bad experiment ID.
 type UnknownExperimentError struct{ ID string }
 
 func (e *UnknownExperimentError) Error() string {
 	return "hopp: unknown experiment " + e.ID + " (run `hoppexp -list`)"
 }
+
+// Simulation-as-a-service types, re-exported from internal/service.
+// An Engine is the long-lived substrate behind cmd/hoppd: submissions
+// queue into a bounded worker pool, results land in an LRU cache keyed
+// by the canonicalized request, and runtime counters stay observable.
+type (
+	// Engine serves simulations: Submit, Status, Wait, Cancel,
+	// RunExperiment, Metrics, Shutdown.
+	Engine = service.Engine
+	// EngineOptions sizes the engine's pool and cache.
+	EngineOptions = service.Options
+	// RunRequest is one workload × system submission.
+	RunRequest = service.RunRequest
+	// RunStatus is a run's externally visible snapshot.
+	RunStatus = service.RunStatus
+	// EngineMetrics is the /metrics counter snapshot.
+	EngineMetrics = service.MetricsSnapshot
+)
+
+// NewEngine starts a simulation service engine; callers must Close it.
+func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
+
+// NewServiceHandler exposes an engine over HTTP (the cmd/hoppd API).
+func NewServiceHandler(e *Engine) http.Handler { return service.NewHandler(e) }
+
+// ServiceWorkloads lists the run-catalog workload names an Engine (and
+// cmd/hoppsim) accepts; ServiceSystems lists the system names.
+func ServiceWorkloads() []string { return service.WorkloadNames() }
+
+// ServiceSystems lists the run-catalog system names.
+func ServiceSystems() []string { return service.SystemNames() }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,6 +21,18 @@ type Options struct {
 	Seed int64
 	// Quick shrinks workloads ~4x for benches and CI.
 	Quick bool
+	// Ctx, when non-nil, carries cancellation and deadlines into every
+	// simulation the experiment runs; the first aborted run fails the
+	// experiment with ctx.Err(). Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the effective context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Table is one printable result table.
@@ -168,12 +181,12 @@ func (o Options) simConfig(frac float64) sim.Config {
 
 // compareAll runs one workload under several systems plus local.
 func (o Options) compareAll(gen workload.Generator, frac float64, systems ...sim.System) (sim.Comparison, error) {
-	return sim.CompareWith(o.simConfig(frac), gen, systems...)
+	return sim.CompareWithContext(o.ctx(), o.simConfig(frac), gen, systems...)
 }
 
 // runOne runs one workload under one system.
 func (o Options) runOne(sys sim.System, gen workload.Generator, frac float64) (sim.Metrics, error) {
-	return sim.RunWith(o.simConfig(frac), sys, gen)
+	return sim.RunWithContext(o.ctx(), o.simConfig(frac), sys, gen)
 }
 
 // sortedKeys returns map keys in stable order.

@@ -173,7 +173,7 @@ func Fig15(o Options) ([]Table, error) {
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			return m.Run()
+			return m.RunContext(o.ctx())
 		}
 		fast, err := run(sim.Fastswap())
 		if err != nil {

@@ -109,7 +109,7 @@ func Table3(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			met, err := m.Run()
+			met, err := m.RunContext(o.ctx())
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/%dKB: %w", name, kb, err)
 			}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU over serialized results. Values are
+// immutable byte slices: the engine stores each run's serialized Metrics
+// exactly once and hands the same bytes to every later hit, which is how
+// cache hits stay byte-identical to the run that populated them.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes and refreshes recency. Callers must not
+// mutate the returned slice.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the live entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

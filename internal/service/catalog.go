@@ -1,0 +1,126 @@
+package service
+
+import (
+	"sort"
+	"strings"
+
+	"hopp/internal/core"
+	"hopp/internal/sim"
+	"hopp/internal/workload"
+)
+
+// The catalog is the canonical name → constructor registry shared by the
+// daemon and the CLIs (cmd/hoppsim resolves through it too). Workloads
+// are built at the standard evaluation scale; quick shrinks footprints
+// ~4x the same way experiments.Options.Quick does, with the same floor.
+
+// quickScale shrinks a page count for quick-mode runs.
+func quickScale(n int, quick bool) int {
+	if !quick {
+		return n
+	}
+	n /= 4
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// workloadCatalog maps canonical workload names to constructors.
+var workloadCatalog = map[string]func(quick bool) workload.Generator{
+	"sequential": func(q bool) workload.Generator { return workload.NewSequential(quickScale(4096, q), 3) },
+	"intertwined": func(q bool) workload.Generator {
+		return workload.NewIntertwined(quickScale(2048, q), 0.05)
+	},
+	"ladder":     func(q bool) workload.Generator { return workload.NewLadder(quickScale(2048, q), 3) },
+	"ripple":     func(q bool) workload.Generator { return workload.NewRipple(quickScale(2048, q), 3) },
+	"addup":      func(q bool) workload.Generator { return workload.NewAddUp(2, quickScale(2048, q)) },
+	"omp-kmeans": func(q bool) workload.Generator { return workload.NewOMPKMeans(quickScale(3072, q), 3) },
+	"quicksort":  func(q bool) workload.Generator { return workload.NewQuicksort(quickScale(3072, q)) },
+	"hpl": func(q bool) workload.Generator {
+		cols := 32
+		if q {
+			cols = 16
+		}
+		return workload.NewHPL(cols, 96)
+	},
+	"npb-cg": func(q bool) workload.Generator { return workload.NewNPBCG(quickScale(3072, q), 2) },
+	"npb-ft": func(q bool) workload.Generator { return workload.NewNPBFT(quickScale(2048, q)) },
+	"npb-lu": func(q bool) workload.Generator {
+		return workload.NewNPBLU(24, quickScale(3072, q)/24, 2)
+	},
+	"npb-mg":       func(q bool) workload.Generator { return workload.NewNPBMG(quickScale(2048, q), 2) },
+	"npb-is":       func(q bool) workload.Generator { return workload.NewNPBIS(quickScale(2048, q)) },
+	"graphx-bfs":   func(q bool) workload.Generator { return workload.NewGraphX("BFS", quickScale(768, q)) },
+	"graphx-cc":    func(q bool) workload.Generator { return workload.NewGraphX("CC", quickScale(768, q)) },
+	"graphx-pr":    func(q bool) workload.Generator { return workload.NewGraphX("PR", quickScale(768, q)) },
+	"graphx-lp":    func(q bool) workload.Generator { return workload.NewGraphX("LP", quickScale(768, q)) },
+	"spark-kmeans": func(q bool) workload.Generator { return workload.NewSparkKMeans(quickScale(2048, q)) },
+	"spark-bayes":  func(q bool) workload.Generator { return workload.NewSparkBayes(quickScale(2048, q)) },
+	"random":       func(q bool) workload.Generator { return workload.NewRandom(quickScale(2048, q), quickScale(8192, q)) },
+}
+
+// systemCatalog maps canonical system names to constructors.
+var systemCatalog = map[string]func() sim.System{
+	"hopp":       sim.HoPP,
+	"fastswap":   sim.Fastswap,
+	"leap":       sim.Leap,
+	"vma":        sim.VMA,
+	"depth-16":   func() sim.System { return sim.DepthN(16) },
+	"depth-32":   func() sim.System { return sim.DepthN(32) },
+	"noprefetch": sim.NoPrefetch,
+	"hopp-markov": func() sim.System {
+		p := core.DefaultParams()
+		p.Algorithm = "markov"
+		s := sim.HoPPWith(p)
+		s.Name = "HoPP-markov"
+		return s
+	},
+	"hopp-bulk": func() sim.System {
+		p := core.DefaultParams()
+		p.Bulk.Enable = true
+		s := sim.HoPPWith(p)
+		s.Name = "HoPP-bulk"
+		return s
+	},
+	"hopp-smartevict": func() sim.System {
+		p := core.DefaultParams()
+		p.SmartEviction = true
+		s := sim.HoPPWith(p)
+		s.Name = "HoPP-smartevict"
+		return s
+	},
+}
+
+// WorkloadNames returns every catalog workload name, sorted.
+func WorkloadNames() []string { return sortedNames(workloadCatalog) }
+
+// SystemNames returns every catalog system name, sorted.
+func SystemNames() []string { return sortedNames(systemCatalog) }
+
+// NewWorkload builds a catalog workload at standard (or quick) scale.
+func NewWorkload(name string, quick bool) (workload.Generator, bool) {
+	f, ok := workloadCatalog[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return f(quick), true
+}
+
+// NewSystem builds a catalog system.
+func NewSystem(name string) (sim.System, bool) {
+	f, ok := systemCatalog[strings.ToLower(name)]
+	if !ok {
+		return sim.System{}, false
+	}
+	return f(), true
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,512 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"hopp/internal/experiments"
+	"hopp/internal/sim"
+)
+
+// Engine errors.
+var (
+	ErrClosed            = errors.New("service: engine closed")
+	ErrUnknownRun        = errors.New("service: unknown run id")
+	ErrUnknownWorkload   = errors.New("service: unknown workload")
+	ErrUnknownSystem     = errors.New("service: unknown system")
+	ErrUnknownExperiment = errors.New("service: unknown experiment")
+	ErrBadFrac           = errors.New("service: frac must be in [0, 1)")
+	ErrNotCancellable    = errors.New("service: run already finished")
+)
+
+// RunState is a run's lifecycle position.
+type RunState string
+
+// Run lifecycle: Queued → Running → one of Done/Failed/Cancelled.
+// Cache hits are born Done.
+const (
+	StateQueued    RunState = "queued"
+	StateRunning   RunState = "running"
+	StateDone      RunState = "done"
+	StateFailed    RunState = "failed"
+	StateCancelled RunState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// RunRequest is one workload × system simulation submission.
+type RunRequest struct {
+	// Workload names a catalog workload (see WorkloadNames).
+	Workload string `json:"workload"`
+	// System names a catalog system (see SystemNames).
+	System string `json:"system"`
+	// Frac is local memory as a fraction of the footprint in [0, 1);
+	// 0 = all local. Nil defaults to 0.5, the paper's headline setting.
+	Frac *float64 `json:"frac,omitempty"`
+	// Seed drives workload randomness and fabric jitter.
+	Seed int64 `json:"seed"`
+	// Quick shrinks the workload ~4x (and the cache hierarchy with it).
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Normalize validates the request against the catalog and resolves
+// defaults, returning the canonical form and its cache key. The cache is
+// only ever consulted with keys produced here, so two requests share an
+// entry iff they normalize to the same simulation.
+func (r RunRequest) Normalize() (RunRequest, string, error) {
+	n := r
+	n.Workload = strings.ToLower(strings.TrimSpace(n.Workload))
+	n.System = strings.ToLower(strings.TrimSpace(n.System))
+	if _, ok := workloadCatalog[n.Workload]; !ok {
+		return n, "", fmt.Errorf("%w %q", ErrUnknownWorkload, r.Workload)
+	}
+	if _, ok := systemCatalog[n.System]; !ok {
+		return n, "", fmt.Errorf("%w %q", ErrUnknownSystem, r.System)
+	}
+	if n.Frac == nil {
+		f := 0.5
+		n.Frac = &f
+	}
+	if *n.Frac < 0 || *n.Frac >= 1 {
+		return n, "", fmt.Errorf("%w (got %g)", ErrBadFrac, *n.Frac)
+	}
+	key := fmt.Sprintf("run|%s|%s|%.9g|%d|%t", n.Workload, n.System, *n.Frac, n.Seed, n.Quick)
+	return n, key, nil
+}
+
+// RunStatus is the externally visible snapshot of one run.
+type RunStatus struct {
+	ID       string   `json:"id"`
+	State    RunState `json:"state"`
+	Workload string   `json:"workload"`
+	System   string   `json:"system"`
+	Frac     float64  `json:"frac"`
+	Seed     int64    `json:"seed"`
+	Quick    bool     `json:"quick,omitempty"`
+	// Cached marks a submission served from the result cache.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// WallNS is the wall-clock time the run held a worker; SimNS the
+	// simulated completion time it produced.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	SimNS  int64 `json:"sim_ns,omitempty"`
+	// Metrics is the serialized sim.Metrics, present once State is done.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// run is the internal registry record.
+type run struct {
+	id        string
+	key       string
+	req       RunRequest // normalized
+	state     RunState
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	wallNS    int64
+	simNS     int64
+	result    []byte
+	errMsg    string
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the LRU result cache; <= 0 means 256.
+	CacheEntries int
+}
+
+// Engine is the long-lived simulation service: a FIFO worker pool fed by
+// Submit, a registry of every run, an LRU cache of serialized results,
+// and runtime counters. One Engine outlives any number of requests; the
+// daemon owns exactly one.
+type Engine struct {
+	pool   *Pool
+	cache  *lruCache
+	ctr    counters
+	expSem chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string
+	nextID int
+	closed bool
+
+	// Hooks, replaceable in tests to decouple lifecycle tests from
+	// simulation wall time.
+	runSim func(ctx context.Context, req RunRequest) (sim.Metrics, error)
+	runExp func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error)
+}
+
+// NewEngine starts an engine; callers must Shutdown (or Close) it.
+func NewEngine(opts Options) *Engine {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		pool:       NewPool(opts.Workers),
+		cache:      newLRUCache(opts.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		runs:       make(map[string]*run),
+		runSim:     runSimulation,
+		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
+			opts.Ctx = ctx
+			return exp.Run(opts)
+		},
+	}
+	e.expSem = make(chan struct{}, e.pool.Workers())
+	return e
+}
+
+// runSimulation executes one normalized request from scratch: its own
+// generator, its own machine, nothing shared — the unit of determinism.
+func runSimulation(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+	gen, ok := NewWorkload(req.Workload, req.Quick)
+	if !ok {
+		return sim.Metrics{}, fmt.Errorf("%w %q", ErrUnknownWorkload, req.Workload)
+	}
+	sys, ok := NewSystem(req.System)
+	if !ok {
+		return sim.Metrics{}, fmt.Errorf("%w %q", ErrUnknownSystem, req.System)
+	}
+	cfg := sim.Config{LocalMemoryFrac: *req.Frac, Seed: req.Seed}
+	if req.Quick {
+		// Shrink the cache hierarchy with the footprint, preserving the
+		// paper's footprint ≫ LLC regime (as experiments quick mode does).
+		cfg.L2Bytes = 64 << 10
+		cfg.LLCBytes = 512 << 10
+	}
+	return sim.RunWithContext(ctx, cfg, sys, gen)
+}
+
+// Submit validates, canonicalizes, and enqueues a run, returning its
+// registry snapshot immediately. A result already in the cache comes
+// back as a run born done with Cached set; everything else is queued
+// FIFO behind earlier submissions.
+func (e *Engine) Submit(req RunRequest) (RunStatus, error) {
+	norm, key, err := req.Normalize()
+	if err != nil {
+		return RunStatus{}, err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return RunStatus{}, ErrClosed
+	}
+	e.ctr.runsSubmitted.Add(1)
+	// The cache is consulted only with the canonical key computed by
+	// Normalize, and only bytes produced by a completed identical run
+	// ever land under that key.
+	cached, hit := e.cache.Get(key)
+	if hit {
+		e.ctr.cacheHits.Add(1)
+	} else {
+		e.ctr.cacheMisses.Add(1)
+	}
+	e.nextID++
+	r := &run{
+		id:        fmt.Sprintf("r%06d", e.nextID),
+		key:       key,
+		req:       norm,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if hit {
+		r.state = StateDone
+		r.cached = true
+		r.result = cached
+		r.simNS = simNSFrom(cached)
+		close(r.done)
+	} else {
+		r.state = StateQueued
+	}
+	e.runs[r.id] = r
+	e.order = append(e.order, r.id)
+	status := e.statusLocked(r)
+	e.mu.Unlock()
+
+	if !hit {
+		if err := e.pool.Submit(func() { e.execute(r) }); err != nil {
+			e.mu.Lock()
+			r.state = StateFailed
+			r.errMsg = err.Error()
+			close(r.done)
+			status = e.statusLocked(r)
+			e.mu.Unlock()
+			e.ctr.runsFailed.Add(1)
+			return status, err
+		}
+	}
+	return status, nil
+}
+
+// simNSFrom recovers the simulated completion time from serialized
+// metrics, so cache hits still report SimNS.
+func simNSFrom(metricsJSON []byte) int64 {
+	var m struct{ CompletionTime int64 }
+	if json.Unmarshal(metricsJSON, &m) != nil {
+		return 0
+	}
+	return m.CompletionTime
+}
+
+// execute runs one queued run on a pool worker.
+func (e *Engine) execute(r *run) {
+	e.mu.Lock()
+	if r.state != StateQueued { // cancelled while queued
+		e.mu.Unlock()
+		return
+	}
+	r.state = StateRunning
+	r.started = time.Now()
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	r.cancel = cancel
+	e.mu.Unlock()
+	defer cancel()
+	e.ctr.runsStarted.Add(1)
+
+	met, err := e.runSim(ctx, r.req)
+	wall := time.Since(r.started).Nanoseconds()
+
+	var result []byte
+	if err == nil {
+		// json.Marshal is deterministic (struct order fixed, map keys
+		// sorted), so equal runs serialize to equal bytes — the property
+		// the cache and the determinism tests rely on.
+		result, err = json.Marshal(met)
+	}
+
+	e.mu.Lock()
+	r.wallNS = wall
+	switch {
+	case err == nil:
+		r.state = StateDone
+		r.result = result
+		r.simNS = int64(met.CompletionTime)
+		e.cache.Put(r.key, result)
+		e.ctr.runsCompleted.Add(1)
+		e.ctr.runWallNS.Add(wall)
+		e.ctr.runSimulatedNS.Add(r.simNS)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.state = StateCancelled
+		r.errMsg = err.Error()
+		e.ctr.runsCancelled.Add(1)
+	default:
+		r.state = StateFailed
+		r.errMsg = err.Error()
+		e.ctr.runsFailed.Add(1)
+	}
+	close(r.done)
+	e.mu.Unlock()
+}
+
+// statusLocked snapshots a run; e.mu must be held.
+func (e *Engine) statusLocked(r *run) RunStatus {
+	s := RunStatus{
+		ID:       r.id,
+		State:    r.state,
+		Workload: r.req.Workload,
+		System:   r.req.System,
+		Frac:     *r.req.Frac,
+		Seed:     r.req.Seed,
+		Quick:    r.req.Quick,
+		Cached:   r.cached,
+		Error:    r.errMsg,
+		WallNS:   r.wallNS,
+		SimNS:    r.simNS,
+	}
+	if r.state == StateDone {
+		s.Metrics = r.result
+	}
+	return s
+}
+
+// Status returns one run's snapshot.
+func (e *Engine) Status(id string) (RunStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.runs[id]
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	return e.statusLocked(r), nil
+}
+
+// Runs lists every run in submission order.
+func (e *Engine) Runs() []RunStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RunStatus, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.statusLocked(e.runs[id]))
+	}
+	return out
+}
+
+// Wait blocks until the run reaches a terminal state or ctx is done.
+func (e *Engine) Wait(ctx context.Context, id string) (RunStatus, error) {
+	e.mu.Lock()
+	r, ok := e.runs[id]
+	e.mu.Unlock()
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	select {
+	case <-r.done:
+		return e.Status(id)
+	case <-ctx.Done():
+		return RunStatus{}, ctx.Err()
+	}
+}
+
+// Cancel aborts a queued or running run. Queued runs finish cancelled
+// without ever starting; running runs see their context cancelled and
+// unwind at the simulator's next poll.
+func (e *Engine) Cancel(id string) error {
+	e.mu.Lock()
+	r, ok := e.runs[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	switch r.state {
+	case StateQueued:
+		r.state = StateCancelled
+		r.errMsg = context.Canceled.Error()
+		close(r.done)
+		e.mu.Unlock()
+		e.ctr.runsCancelled.Add(1)
+		return nil
+	case StateRunning:
+		cancel := r.cancel
+		e.mu.Unlock()
+		cancel()
+		return nil
+	default:
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, r.state)
+	}
+}
+
+// ExperimentInfo describes one regenerable table/figure.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []ExperimentInfo {
+	all := experiments.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, x := range all {
+		out[i] = ExperimentInfo{ID: x.ID, Title: x.Title}
+	}
+	return out
+}
+
+// ExperimentByID reports whether id names a regenerable experiment.
+func ExperimentByID(id string) (ExperimentInfo, bool) {
+	x, ok := experiments.ByID(id)
+	if !ok {
+		return ExperimentInfo{}, false
+	}
+	return ExperimentInfo{ID: x.ID, Title: x.Title}, true
+}
+
+// RunExperiment regenerates one table/figure, writing the rendered text
+// to w. Results are cached by (experiment, seed, quick); concurrency is
+// bounded by the worker count; ctx cancels both the wait for a slot and
+// the simulations themselves.
+func (e *Engine) RunExperiment(ctx context.Context, id string, seed int64, quick bool, w io.Writer) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+	}
+	key := fmt.Sprintf("exp|%s|%d|%t", exp.ID, seed, quick)
+	if b, hit := e.cache.Get(key); hit {
+		e.ctr.cacheHits.Add(1)
+		_, err := w.Write(b)
+		return err
+	}
+	e.ctr.cacheMisses.Add(1)
+
+	select {
+	case e.expSem <- struct{}{}:
+		defer func() { <-e.expSem }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	e.ctr.expStarted.Add(1)
+	tables, err := e.runExp(ctx, exp, experiments.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		e.ctr.expFailed.Add(1)
+		return err
+	}
+	var buf bytes.Buffer
+	for _, t := range tables {
+		t.Fprint(&buf)
+	}
+	e.cache.Put(key, buf.Bytes())
+	e.ctr.expCompleted.Add(1)
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// Metrics snapshots the runtime counters and gauges.
+func (e *Engine) Metrics() MetricsSnapshot {
+	s := e.ctr.snapshot()
+	s.QueueDepth = e.pool.QueueDepth()
+	s.ActiveRuns = e.pool.Active()
+	s.Workers = e.pool.Workers()
+	s.CacheSize = e.cache.Len()
+	return s
+}
+
+// Shutdown stops accepting work and drains the pool: queued and running
+// runs complete normally. If ctx expires first, in-flight simulations
+// are cancelled and Shutdown waits for them to unwind before returning
+// ctx.Err().
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.pool.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown with no deadline: full drain.
+func (e *Engine) Close() { _ = e.Shutdown(context.Background()) }

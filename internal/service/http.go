@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler builds the daemon's HTTP API over one engine:
+//
+//	POST   /v1/runs              submit a workload × system simulation
+//	GET    /v1/runs              list every run in submission order
+//	GET    /v1/runs/{id}         one run's status + Metrics JSON
+//	DELETE /v1/runs/{id}         cancel a queued or running run
+//	GET    /v1/experiments       list regenerable tables/figures
+//	POST   /v1/experiments/{id}  regenerate one (text/plain, streamed)
+//	GET    /healthz              liveness
+//	GET    /metrics              runtime counters
+//
+// The handler is cmd/hoppd's entire surface; it lives here so httptest
+// exercises exactly what the daemon serves.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Metrics())
+	})
+
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		status, err := e.Submit(req)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		code := http.StatusAccepted
+		if status.State.Terminal() {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, status)
+	})
+
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"runs": e.Runs()})
+	})
+
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := e.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := e.Cancel(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		status, err := e.Status(id)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": Experiments()})
+	})
+
+	mux.HandleFunc("POST /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		seed := int64(1)
+		if s := r.URL.Query().Get("seed"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", s))
+				return
+			}
+			seed = v
+		}
+		quick := false
+		if q := r.URL.Query().Get("quick"); q != "" {
+			v, err := strconv.ParseBool(q)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad quick %q", q))
+				return
+			}
+			quick = v
+		}
+		id := r.PathValue("id")
+		if _, ok := ExperimentByID(id); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownExperiment, id))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush() // commit headers so the client sees the stream open
+		}
+		// The request context cancels the experiment when the client
+		// disconnects; the error (if any) lands on the open text stream.
+		if err := e.RunExperiment(r.Context(), id, seed, quick, w); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+	})
+
+	return mux
+}
+
+// errStatus maps engine errors to HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnknownWorkload), errors.Is(err, ErrUnknownSystem), errors.Is(err, ErrBadFrac):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotCancellable):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

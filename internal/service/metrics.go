@@ -1,0 +1,66 @@
+package service
+
+import "sync/atomic"
+
+// counters are the engine's expvar-style runtime counters. All fields
+// are monotonic except the gauges derived at snapshot time.
+type counters struct {
+	runsSubmitted  atomic.Uint64
+	runsStarted    atomic.Uint64
+	runsCompleted  atomic.Uint64
+	runsFailed     atomic.Uint64
+	runsCancelled  atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	expStarted     atomic.Uint64
+	expCompleted   atomic.Uint64
+	expFailed      atomic.Uint64
+	runWallNS      atomic.Int64 // total wall time spent executing runs
+	runSimulatedNS atomic.Int64 // total simulated time produced by runs
+}
+
+// MetricsSnapshot is the /metrics payload: a point-in-time copy of every
+// counter plus the live gauges. Field order is fixed by the struct, so
+// the serialized form is stable.
+type MetricsSnapshot struct {
+	RunsSubmitted uint64 `json:"runs_submitted"`
+	RunsStarted   uint64 `json:"runs_started"`
+	RunsCompleted uint64 `json:"runs_completed"`
+	RunsFailed    uint64 `json:"runs_failed"`
+	RunsCancelled uint64 `json:"runs_cancelled"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheSize   int    `json:"cache_size"`
+
+	ExperimentsStarted   uint64 `json:"experiments_started"`
+	ExperimentsCompleted uint64 `json:"experiments_completed"`
+	ExperimentsFailed    uint64 `json:"experiments_failed"`
+
+	QueueDepth int `json:"queue_depth"`
+	ActiveRuns int `json:"active_runs"`
+	Workers    int `json:"workers"`
+
+	// RunWallNS is total wall-clock nanoseconds workers spent executing
+	// runs; RunSimulatedNS is the total simulated nanoseconds those runs
+	// covered. Their ratio is the engine's time-dilation factor.
+	RunWallNS      int64 `json:"run_wall_ns"`
+	RunSimulatedNS int64 `json:"run_simulated_ns"`
+}
+
+func (c *counters) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		RunsSubmitted:        c.runsSubmitted.Load(),
+		RunsStarted:          c.runsStarted.Load(),
+		RunsCompleted:        c.runsCompleted.Load(),
+		RunsFailed:           c.runsFailed.Load(),
+		RunsCancelled:        c.runsCancelled.Load(),
+		CacheHits:            c.cacheHits.Load(),
+		CacheMisses:          c.cacheMisses.Load(),
+		ExperimentsStarted:   c.expStarted.Load(),
+		ExperimentsCompleted: c.expCompleted.Load(),
+		ExperimentsFailed:    c.expFailed.Load(),
+		RunWallNS:            c.runWallNS.Load(),
+		RunSimulatedNS:       c.runSimulatedNS.Load(),
+	}
+}

@@ -1,0 +1,119 @@
+// Package service is the long-lived simulation engine behind cmd/hoppd:
+// a bounded worker pool executing submitted runs in FIFO order, a run
+// registry tracking every submission through its lifecycle, an LRU
+// result cache keyed by the canonicalized request, and runtime counters
+// for observability. The package exists so that simulations are served —
+// cancellable, cacheable, observable — instead of merely executed, the
+// same shift HoPP itself makes from fault-driven on-demand work to an
+// always-on pipeline (PAPER.md §III).
+//
+// Determinism survives concurrency by construction: every run builds its
+// own Machine and workload generators from the canonical request, shares
+// nothing with other runs, and serializes its Metrics once; the cache
+// stores those bytes, so identical requests return byte-identical
+// results regardless of worker interleaving.
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("service: pool closed")
+
+// Pool is a bounded worker pool with an unbounded FIFO queue:
+// submissions never block, jobs start in submission order, and at most
+// `workers` jobs run at once. Close drains every queued job before
+// returning, which is what gives the daemon (and hoppexp -parallel)
+// graceful shutdown.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	active  int
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of n workers; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues a job; it runs when a worker frees up, after every
+// earlier submission has been picked up.
+func (p *Pool) Submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, job)
+	p.cond.Signal()
+	return nil
+}
+
+// QueueDepth reports jobs submitted but not yet started.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Active reports jobs currently executing.
+func (p *Pool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Close stops accepting submissions, drains the queue, waits for every
+// in-flight job to finish, and then returns. Safe to call twice.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.active++
+		p.mu.Unlock()
+
+		job()
+
+		p.mu.Lock()
+		p.active--
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverySubmittedJob(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d jobs, want 100", got)
+	}
+}
+
+// A single worker must execute jobs in submission order.
+func TestPoolFIFOWithOneWorker(t *testing.T) {
+	p := NewPool(1)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if err := p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // second Close must not hang or panic
+}
+
+// Close must block until queued jobs have drained.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Int64
+	for i := 0; i < 10; i++ {
+		_ = p.Submit(func() {
+			time.Sleep(5 * time.Millisecond)
+			done.Add(1)
+		})
+	}
+	p.Close()
+	if got := done.Load(); got != 10 {
+		t.Fatalf("Close returned with %d/10 jobs done", got)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(20)
+	for i := 0; i < 20; i++ {
+		_ = p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hopp/internal/workload"
+)
+
+// A machine given an already-done context must abandon the run at its
+// first cancellation poll and surface ctx.Err().
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := MustNew(Config{LocalMemoryFrac: 0.5, Seed: 1, System: Fastswap()},
+		workload.NewSequential(512, 2))
+	met, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if met.Accesses != 0 {
+		t.Fatalf("cancelled-before-start run simulated %d accesses, want 0", met.Accesses)
+	}
+}
+
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, err := RunWithContext(ctx, Config{LocalMemoryFrac: 0.5, Seed: 1},
+		Fastswap(), workload.NewSequential(512, 2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunWithContext error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// The context-free wrappers must behave exactly like a background
+// context: same metrics, no error.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	gen := workload.NewSequential(512, 2)
+	viaRun, err := RunWith(Config{LocalMemoryFrac: 0.5, Seed: 1}, Fastswap(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := RunWithContext(context.Background(),
+		Config{LocalMemoryFrac: 0.5, Seed: 1}, Fastswap(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRun.CompletionTime != viaCtx.CompletionTime || viaRun.Accesses != viaCtx.Accesses {
+		t.Fatalf("context-free run diverged: %v vs %v", viaRun, viaCtx)
+	}
+}
+
+func TestCompareWithContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompareWithContext(ctx, Config{LocalMemoryFrac: 0.5, Seed: 1},
+		workload.NewSequential(512, 2), Fastswap())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompareWithContext error = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -240,7 +241,30 @@ func (m *Machine) Region(key memsim.PageKey) (memsim.VPN, memsim.VPN, bool) {
 
 // Run executes every workload to completion and returns the metrics.
 func (m *Machine) Run() (Metrics, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how many simulated accesses pass between
+// cancellation polls: frequent enough that a run aborts within
+// microseconds of wall time, rare enough to keep the select off the
+// hot path.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cancellation: every ctxCheckInterval simulated
+// accesses the machine polls ctx and, if it is done, abandons the run
+// and returns ctx.Err() alongside the metrics accumulated so far.
+// Cancellation does not corrupt the machine, but an abandoned run's
+// metrics are partial and must not be compared against completed ones.
+func (m *Machine) RunContext(ctx context.Context) (Metrics, error) {
+	done := ctx.Done()
 	for {
+		if done != nil && m.met.Accesses%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return m.met, ctx.Err()
+			default:
+			}
+		}
 		var next *appState
 		for _, a := range m.apps {
 			if a.done {

@@ -1,16 +1,26 @@
 package sim
 
-import "hopp/internal/workload"
+import (
+	"context"
+
+	"hopp/internal/workload"
+)
 
 // RunWith runs one workload under one system using the base config
 // (its System field is replaced).
 func RunWith(base Config, sys System, gen workload.Generator) (Metrics, error) {
+	return RunWithContext(context.Background(), base, sys, gen)
+}
+
+// RunWithContext is RunWith honoring cancellation and deadlines; see
+// Machine.RunContext for the abort semantics.
+func RunWithContext(ctx context.Context, base Config, sys System, gen workload.Generator) (Metrics, error) {
 	base.System = sys
 	m, err := New(base, gen)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // RunWorkload runs one workload under one system with each app's cgroup
@@ -19,6 +29,11 @@ func RunWith(base Config, sys System, gen workload.Generator) (Metrics, error) {
 // runs.
 func RunWorkload(sys System, gen workload.Generator, frac float64, seed int64) (Metrics, error) {
 	return RunWith(Config{LocalMemoryFrac: frac, Seed: seed}, sys, gen)
+}
+
+// RunWorkloadContext is RunWorkload honoring cancellation.
+func RunWorkloadContext(ctx context.Context, sys System, gen workload.Generator, frac float64, seed int64) (Metrics, error) {
+	return RunWithContext(ctx, Config{LocalMemoryFrac: frac, Seed: seed}, sys, gen)
 }
 
 // RunLocal runs the workload with unlimited local memory — the
@@ -44,17 +59,23 @@ func Compare(gen workload.Generator, frac float64, seed int64, systems ...System
 // CompareWith is Compare with full control over the machine config. The
 // local baseline reuses the config with memory limits removed.
 func CompareWith(base Config, gen workload.Generator, systems ...System) (Comparison, error) {
+	return CompareWithContext(context.Background(), base, gen, systems...)
+}
+
+// CompareWithContext is CompareWith honoring cancellation: the first
+// aborted run ends the comparison.
+func CompareWithContext(ctx context.Context, base Config, gen workload.Generator, systems ...System) (Comparison, error) {
 	cmp := Comparison{Workload: gen.Name()}
 	localCfg := base
 	localCfg.LocalMemoryFrac = 0
 	localCfg.LocalMemoryPages = 0
-	local, err := RunWith(localCfg, NoPrefetch(), gen)
+	local, err := RunWithContext(ctx, localCfg, NoPrefetch(), gen)
 	if err != nil {
 		return cmp, err
 	}
 	cmp.Local = local
 	for _, sys := range systems {
-		met, err := RunWith(base, sys, gen)
+		met, err := RunWithContext(ctx, base, sys, gen)
 		if err != nil {
 			return cmp, err
 		}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Quick pre-merge check: static analysis plus race-mode tests over the
+# concurrent subsystems (the service engine and the simulator it drives).
+# The full tier-1 gate remains `go build ./... && go test ./...`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race (service + sim, quick mode)"
+go test -race -count=1 ./internal/service/... ./internal/sim/...
+
+echo "check.sh: OK"
