@@ -1,7 +1,7 @@
 # Convenience targets; the authoritative commands live in ROADMAP.md
 # (tier-1) and scripts/check.sh (quick race-mode gate).
 
-.PHONY: build test check
+.PHONY: build test check loadcheck
 
 build:
 	go build ./...
@@ -11,3 +11,9 @@ test: build
 
 check:
 	sh scripts/check.sh
+
+# Race-mode pass over the resource-limit surface: sustained-load leak
+# regression, queue backpressure (429), registry eviction (404), and
+# per-run timeouts.
+loadcheck:
+	go test -race -count=1 -v -run 'SustainedLoad|Overload|Backpressure|Evict|Timeout|429|404' ./internal/service/

@@ -11,6 +11,13 @@
 //	curl -XPOST 'localhost:8080/v1/experiments/fig9?quick=true'
 //	curl localhost:8080/metrics
 //
+// The daemon is built to run indefinitely under load: the run registry
+// retains a bounded window of finished runs (-retain-runs/-retain-age,
+// evicted IDs answer 404), submissions beyond -max-queue are shed with
+// 429 + Retry-After, each run is capped by -run-timeout, and the HTTP
+// server bounds header/read/idle time so slow clients cannot pin
+// connections.
+//
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes, then
 // queued and in-flight runs drain (up to -drain-timeout) before exit.
 package main
@@ -42,6 +49,19 @@ func run() error {
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", 256, "result cache entries")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+
+		// Resource limits: what keeps the daemon bounded under the
+		// sustained traffic it exists to serve.
+		maxQueue   = flag.Int("max-queue", 256, "max queued runs before submissions get 429 (0 = unbounded)")
+		retainRuns = flag.Int("retain-runs", service.DefaultRetainRuns, "finished runs kept queryable before eviction (404 afterwards)")
+		retainAge  = flag.Duration("retain-age", time.Hour, "evict finished runs older than this (0 = no age bound)")
+		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-run wall-clock deadline; timed-out runs fail (0 = none)")
+
+		// HTTP server timeouts: without these an idle or trickling
+		// client (slowloris) pins a connection forever.
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "max wait for request headers")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "max wait for a full request read")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -49,8 +69,25 @@ func run() error {
 		os.Exit(2)
 	}
 
-	engine := service.NewEngine(service.Options{Workers: *workers, CacheEntries: *cache})
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(engine)}
+	engine := service.NewEngine(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		MaxQueue:     *maxQueue,
+		RetainRuns:   *retainRuns,
+		RetainAge:    *retainAge,
+		RunTimeout:   *runTimeout,
+	})
+	// No WriteTimeout: /v1/experiments/{id} streams output for as long
+	// as the (context-cancellable) experiment runs; a write deadline
+	// would sever healthy streams. Reads and idle keep-alives are the
+	// slowloris surface, and those are bounded.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

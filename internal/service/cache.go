@@ -19,6 +19,11 @@ type lruCache struct {
 type cacheEntry struct {
 	key string
 	val []byte
+	// simNS is the simulated completion time carried alongside the
+	// serialized run metrics, so cache hits report SimNS without
+	// re-parsing the JSON blob on every hit. Experiment entries leave
+	// it zero.
+	simNS int64
 }
 
 func newLRUCache(max int) *lruCache {
@@ -28,30 +33,32 @@ func newLRUCache(max int) *lruCache {
 	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached bytes and refreshes recency. Callers must not
-// mutate the returned slice.
-func (c *lruCache) Get(key string) ([]byte, bool) {
+// Get returns the cached bytes with their SimNS and refreshes recency.
+// Callers must not mutate the returned slice.
+func (c *lruCache) Get(key string) ([]byte, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	ent := el.Value.(*cacheEntry)
+	return ent.val, ent.simNS, true
 }
 
 // Put inserts or refreshes an entry, evicting the least recently used
 // entry when over capacity.
-func (c *lruCache) Put(key string, val []byte) {
+func (c *lruCache) Put(key string, val []byte, simNS int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		ent.val, ent.simNS = val, simNS
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, simNS: simNS})
 	for c.order.Len() > c.max {
 		last := c.order.Back()
 		c.order.Remove(last)

@@ -7,28 +7,28 @@ import (
 
 func TestLRUCacheHitAndMiss(t *testing.T) {
 	c := newLRUCache(4)
-	if _, ok := c.Get("a"); ok {
+	if _, _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", []byte("va"))
-	got, ok := c.Get("a")
-	if !ok || string(got) != "va" {
-		t.Fatalf("Get(a) = %q, %v", got, ok)
+	c.Put("a", []byte("va"), 42)
+	got, simNS, ok := c.Get("a")
+	if !ok || string(got) != "va" || simNS != 42 {
+		t.Fatalf("Get(a) = %q, %d, %v", got, simNS, ok)
 	}
 }
 
 func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newLRUCache(3)
 	for _, k := range []string{"a", "b", "c"} {
-		c.Put(k, []byte(k))
+		c.Put(k, []byte(k), 0)
 	}
-	c.Get("a")          // refresh a; b is now LRU
-	c.Put("d", []byte("d")) // evicts b
-	if _, ok := c.Get("b"); ok {
+	c.Get("a")                 // refresh a; b is now LRU
+	c.Put("d", []byte("d"), 0) // evicts b
+	if _, _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction; LRU order not respected")
 	}
 	for _, k := range []string{"a", "c", "d"} {
-		if _, ok := c.Get(k); !ok {
+		if _, _, ok := c.Get(k); !ok {
 			t.Fatalf("%s evicted unexpectedly", k)
 		}
 	}
@@ -39,14 +39,14 @@ func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
 
 func TestLRUCachePutRefreshesExisting(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", []byte("1"))
-	c.Put("b", []byte("2"))
-	c.Put("a", []byte("3")) // refresh, not insert: b stays
-	c.Put("c", []byte("4")) // evicts b
-	if got, ok := c.Get("a"); !ok || string(got) != "3" {
+	c.Put("a", []byte("1"), 0)
+	c.Put("b", []byte("2"), 0)
+	c.Put("a", []byte("3"), 0) // refresh, not insert: b stays
+	c.Put("c", []byte("4"), 0) // evicts b
+	if got, _, ok := c.Get("a"); !ok || string(got) != "3" {
 		t.Fatalf("Get(a) = %q, %v; want updated value", got, ok)
 	}
-	if _, ok := c.Get("b"); ok {
+	if _, _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been the LRU victim")
 	}
 }
@@ -54,7 +54,7 @@ func TestLRUCachePutRefreshesExisting(t *testing.T) {
 func TestLRUCacheCapacityNeverExceeded(t *testing.T) {
 	c := newLRUCache(8)
 	for i := 0; i < 100; i++ {
-		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}, 0)
 		if c.Len() > 8 {
 			t.Fatalf("cache grew to %d entries, cap is 8", c.Len())
 		}

@@ -98,6 +98,12 @@ func WorkloadNames() []string { return sortedNames(workloadCatalog) }
 // SystemNames returns every catalog system name, sorted.
 func SystemNames() []string { return sortedNames(systemCatalog) }
 
+// NumWorkloads reports the catalog workload count (a /metrics gauge).
+func NumWorkloads() int { return len(workloadCatalog) }
+
+// NumSystems reports the catalog system count (a /metrics gauge).
+func NumSystems() int { return len(systemCatalog) }
+
 // NewWorkload builds a catalog workload at standard (or quick) scale.
 func NewWorkload(name string, quick bool) (workload.Generator, bool) {
 	f, ok := workloadCatalog[strings.ToLower(name)]

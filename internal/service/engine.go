@@ -24,6 +24,13 @@ var (
 	ErrUnknownExperiment = errors.New("service: unknown experiment")
 	ErrBadFrac           = errors.New("service: frac must be in [0, 1)")
 	ErrNotCancellable    = errors.New("service: run already finished")
+	// ErrOverloaded rejects a submission because the pending queue is at
+	// its configured bound. The HTTP layer maps it to 429 + Retry-After;
+	// the submission leaves no registry entry behind.
+	ErrOverloaded = errors.New("service: engine overloaded, retry later")
+	// ErrRunTimeout marks a run that exceeded the per-run deadline; such
+	// runs land in StateFailed with this error in their message.
+	ErrRunTimeout = errors.New("service: run timeout exceeded")
 )
 
 // RunState is a run's lifecycle position.
@@ -113,6 +120,7 @@ type run struct {
 	cached    bool
 	submitted time.Time
 	started   time.Time
+	finished  time.Time // terminal-transition time, drives age eviction
 	wallNS    int64
 	simNS     int64
 	result    []byte
@@ -121,30 +129,56 @@ type run struct {
 	done      chan struct{}
 }
 
+// DefaultRetainRuns is the terminal-run retention bound applied when
+// Options.RetainRuns is unset.
+const DefaultRetainRuns = 1024
+
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
 	Workers int
 	// CacheEntries bounds the LRU result cache; <= 0 means 256.
 	CacheEntries int
+	// MaxQueue bounds runs queued behind busy workers; submissions over
+	// the limit fail fast with ErrOverloaded. <= 0 means unbounded.
+	MaxQueue int
+	// RetainRuns bounds terminal (done/failed/cancelled) runs kept in
+	// the registry: once exceeded the oldest-finished are evicted and
+	// later lookups of their IDs return ErrUnknownRun (HTTP 404).
+	// <= 0 means DefaultRetainRuns.
+	RetainRuns int
+	// RetainAge additionally evicts terminal runs older than this even
+	// while under the count bound. <= 0 disables age-based eviction.
+	RetainAge time.Duration
+	// RunTimeout caps each executing run's wall time so a pathological
+	// request cannot pin a worker; timed-out runs land in StateFailed
+	// with ErrRunTimeout. <= 0 disables the deadline.
+	RunTimeout time.Duration
 }
 
 // Engine is the long-lived simulation service: a FIFO worker pool fed by
-// Submit, a registry of every run, an LRU cache of serialized results,
-// and runtime counters. One Engine outlives any number of requests; the
-// daemon owns exactly one.
+// Submit, a bounded registry of recent runs, an LRU cache of serialized
+// results, and runtime counters. One Engine outlives any number of
+// requests; the daemon owns exactly one. Every resource the engine holds
+// per submission — registry entry, queue slot, worker — is bounded, so
+// the process stays O(configuration) no matter how long it serves.
 type Engine struct {
 	pool   *Pool
 	cache  *lruCache
 	ctr    counters
 	expSem chan struct{}
 
+	retain     int
+	retainAge  time.Duration
+	runTimeout time.Duration
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu     sync.Mutex
 	runs   map[string]*run
-	order  []string
+	order  []string // submission order; may hold evicted IDs until compaction
+	term   []string // terminal runs, oldest-finished first (eviction order)
 	nextID int
 	closed bool
 
@@ -157,9 +191,16 @@ type Engine struct {
 // NewEngine starts an engine; callers must Shutdown (or Close) it.
 func NewEngine(opts Options) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
+	retain := opts.RetainRuns
+	if retain <= 0 {
+		retain = DefaultRetainRuns
+	}
 	e := &Engine{
-		pool:       NewPool(opts.Workers),
+		pool:       NewPoolWithQueue(opts.Workers, opts.MaxQueue),
 		cache:      newLRUCache(opts.CacheEntries),
+		retain:     retain,
+		retainAge:  opts.RetainAge,
+		runTimeout: opts.RunTimeout,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runs:       make(map[string]*run),
@@ -197,73 +238,107 @@ func runSimulation(ctx context.Context, req RunRequest) (sim.Metrics, error) {
 // Submit validates, canonicalizes, and enqueues a run, returning its
 // registry snapshot immediately. A result already in the cache comes
 // back as a run born done with Cached set; everything else is queued
-// FIFO behind earlier submissions.
+// FIFO behind earlier submissions. When the pending queue is at its
+// bound the submission is rejected with ErrOverloaded and leaves no
+// registry entry — callers retry, they don't pile up.
 func (e *Engine) Submit(req RunRequest) (RunStatus, error) {
 	norm, key, err := req.Normalize()
 	if err != nil {
 		return RunStatus{}, err
 	}
 
+	now := time.Now()
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		e.mu.Unlock()
 		return RunStatus{}, ErrClosed
 	}
-	e.ctr.runsSubmitted.Add(1)
+	e.evictLocked(now) // age out stale terminal runs even on idle→burst
+
 	// The cache is consulted only with the canonical key computed by
 	// Normalize, and only bytes produced by a completed identical run
 	// ever land under that key.
-	cached, hit := e.cache.Get(key)
-	if hit {
-		e.ctr.cacheHits.Add(1)
-	} else {
-		e.ctr.cacheMisses.Add(1)
-	}
-	e.nextID++
+	cached, cachedSimNS, hit := e.cache.Get(key)
 	r := &run{
-		id:        fmt.Sprintf("r%06d", e.nextID),
 		key:       key,
 		req:       norm,
-		submitted: time.Now(),
+		submitted: now,
 		done:      make(chan struct{}),
 	}
 	if hit {
 		r.state = StateDone
 		r.cached = true
 		r.result = cached
-		r.simNS = simNSFrom(cached)
+		r.simNS = cachedSimNS
 		close(r.done)
+		e.ctr.cacheHits.Add(1)
 	} else {
+		// Admission control before the run gets an ID or a registry
+		// slot: a rejected submission must not consume anything. Lock
+		// order is e.mu → pool.mu, taken nowhere in reverse.
 		r.state = StateQueued
+		if err := e.pool.Submit(func() { e.execute(r) }); err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				e.ctr.runsRejected.Add(1)
+				return RunStatus{}, fmt.Errorf("%w (queue depth at bound %d)", ErrOverloaded, e.pool.MaxQueue())
+			}
+			return RunStatus{}, ErrClosed // pool closed: raced Shutdown
+		}
+		e.ctr.cacheMisses.Add(1)
 	}
+	e.ctr.runsSubmitted.Add(1)
+	e.nextID++
+	r.id = fmt.Sprintf("r%06d", e.nextID)
 	e.runs[r.id] = r
 	e.order = append(e.order, r.id)
-	status := e.statusLocked(r)
-	e.mu.Unlock()
-
-	if !hit {
-		if err := e.pool.Submit(func() { e.execute(r) }); err != nil {
-			e.mu.Lock()
-			r.state = StateFailed
-			r.errMsg = err.Error()
-			close(r.done)
-			status = e.statusLocked(r)
-			e.mu.Unlock()
-			e.ctr.runsFailed.Add(1)
-			return status, err
-		}
+	if hit {
+		e.markTerminalLocked(r, now)
 	}
-	return status, nil
+	return e.statusLocked(r), nil
 }
 
-// simNSFrom recovers the simulated completion time from serialized
-// metrics, so cache hits still report SimNS.
-func simNSFrom(metricsJSON []byte) int64 {
-	var m struct{ CompletionTime int64 }
-	if json.Unmarshal(metricsJSON, &m) != nil {
-		return 0
+// markTerminalLocked records a run's transition into a terminal state
+// and evicts the oldest terminal runs past the retention bounds; e.mu
+// must be held. Every path that finishes a run goes through here, which
+// is what keeps the registry O(retention + in-flight) instead of
+// O(total submissions).
+func (e *Engine) markTerminalLocked(r *run, now time.Time) {
+	r.finished = now
+	e.term = append(e.term, r.id)
+	e.evictLocked(now)
+}
+
+// evictLocked drops terminal runs beyond the retention count or older
+// than the retention age; e.mu must be held. e.term is ordered by finish
+// time, so eviction only ever pops from its front. The submission-order
+// slice is compacted lazily once evicted IDs dominate it, keeping both
+// structures bounded without an O(n) scan per eviction.
+func (e *Engine) evictLocked(now time.Time) {
+	n := 0
+	for n < len(e.term) {
+		id := e.term[n]
+		overCount := len(e.term)-n > e.retain
+		overAge := e.retainAge > 0 && now.Sub(e.runs[id].finished) > e.retainAge
+		if !overCount && !overAge {
+			break
+		}
+		delete(e.runs, id)
+		n++
 	}
-	return m.CompletionTime
+	if n == 0 {
+		return
+	}
+	e.term = e.term[n:]
+	e.ctr.registryEvictions.Add(uint64(n))
+	if len(e.order) > 2*len(e.runs) {
+		kept := make([]string, 0, len(e.runs))
+		for _, id := range e.order {
+			if _, ok := e.runs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		e.order = kept
+	}
 }
 
 // execute runs one queued run on a pool worker.
@@ -275,7 +350,17 @@ func (e *Engine) execute(r *run) {
 	}
 	r.state = StateRunning
 	r.started = time.Now()
-	ctx, cancel := context.WithCancel(e.baseCtx)
+	// The per-run deadline nests inside the engine's base context, so a
+	// run ends for exactly one of three reasons: its own deadline
+	// (DeadlineExceeded), a caller's Cancel or engine shutdown
+	// (Canceled), or the simulation finishing.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if e.runTimeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, e.runTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
 	r.cancel = cancel
 	e.mu.Unlock()
 	defer cancel()
@@ -299,10 +384,15 @@ func (e *Engine) execute(r *run) {
 		r.state = StateDone
 		r.result = result
 		r.simNS = int64(met.CompletionTime)
-		e.cache.Put(r.key, result)
+		e.cache.Put(r.key, result, r.simNS)
 		e.ctr.runsCompleted.Add(1)
 		e.ctr.runWallNS.Add(wall)
 		e.ctr.runSimulatedNS.Add(r.simNS)
+	case e.runTimeout > 0 && errors.Is(err, context.DeadlineExceeded):
+		r.state = StateFailed
+		r.errMsg = fmt.Sprintf("%v (exceeded %v)", ErrRunTimeout, e.runTimeout)
+		e.ctr.runsTimedOut.Add(1)
+		e.ctr.runsFailed.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		r.state = StateCancelled
 		r.errMsg = err.Error()
@@ -312,6 +402,7 @@ func (e *Engine) execute(r *run) {
 		r.errMsg = err.Error()
 		e.ctr.runsFailed.Add(1)
 	}
+	e.markTerminalLocked(r, time.Now())
 	close(r.done)
 	e.mu.Unlock()
 }
@@ -348,13 +439,17 @@ func (e *Engine) Status(id string) (RunStatus, error) {
 	return e.statusLocked(r), nil
 }
 
-// Runs lists every run in submission order.
+// Runs lists every retained run in submission order. Evicted terminal
+// runs no longer appear; under sustained load the list plateaus at the
+// retention bound plus whatever is queued or running.
 func (e *Engine) Runs() []RunStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]RunStatus, 0, len(e.order))
+	out := make([]RunStatus, 0, len(e.runs))
 	for _, id := range e.order {
-		out = append(out, e.statusLocked(e.runs[id]))
+		if r, ok := e.runs[id]; ok {
+			out = append(out, e.statusLocked(r))
+		}
 	}
 	return out
 }
@@ -389,6 +484,7 @@ func (e *Engine) Cancel(id string) error {
 	case StateQueued:
 		r.state = StateCancelled
 		r.errMsg = context.Canceled.Error()
+		e.markTerminalLocked(r, time.Now())
 		close(r.done)
 		e.mu.Unlock()
 		e.ctr.runsCancelled.Add(1)
@@ -445,7 +541,7 @@ func (e *Engine) RunExperiment(ctx context.Context, id string, seed int64, quick
 		return fmt.Errorf("%w %q", ErrUnknownExperiment, id)
 	}
 	key := fmt.Sprintf("exp|%s|%d|%t", exp.ID, seed, quick)
-	if b, hit := e.cache.Get(key); hit {
+	if b, _, hit := e.cache.Get(key); hit {
 		e.ctr.cacheHits.Add(1)
 		_, err := w.Write(b)
 		return err
@@ -468,7 +564,7 @@ func (e *Engine) RunExperiment(ctx context.Context, id string, seed int64, quick
 	for _, t := range tables {
 		t.Fprint(&buf)
 	}
-	e.cache.Put(key, buf.Bytes())
+	e.cache.Put(key, buf.Bytes(), 0)
 	e.ctr.expCompleted.Add(1)
 	_, err = w.Write(buf.Bytes())
 	return err
@@ -480,7 +576,15 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	s.QueueDepth = e.pool.QueueDepth()
 	s.ActiveRuns = e.pool.Active()
 	s.Workers = e.pool.Workers()
+	s.QueueLimit = e.pool.MaxQueue()
 	s.CacheSize = e.cache.Len()
+	s.RetainRuns = e.retain
+	s.RunTimeoutNS = int64(e.runTimeout)
+	s.CatalogWorkloads = NumWorkloads()
+	s.CatalogSystems = NumSystems()
+	e.mu.Lock()
+	s.RegistrySize = len(e.runs)
+	e.mu.Unlock()
 	return s
 }
 

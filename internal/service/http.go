@@ -11,8 +11,10 @@ import (
 // NewHandler builds the daemon's HTTP API over one engine:
 //
 //	POST   /v1/runs              submit a workload × system simulation
-//	GET    /v1/runs              list every run in submission order
+//	                             (429 + Retry-After when the queue is full)
+//	GET    /v1/runs              list retained runs in submission order
 //	GET    /v1/runs/{id}         one run's status + Metrics JSON
+//	                             (404 once retention has evicted the run)
 //	DELETE /v1/runs/{id}         cancel a queued or running run
 //	GET    /v1/experiments       list regenerable tables/figures
 //	POST   /v1/experiments/{id}  regenerate one (text/plain, streamed)
@@ -40,6 +42,11 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		status, err := e.Submit(req)
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				// The queue is at its bound; tell well-behaved clients
+				// when to come back instead of letting them hot-loop.
+				w.Header().Set("Retry-After", "1")
+			}
 			writeError(w, errStatus(err), err)
 			return
 		}
@@ -129,6 +136,8 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotCancellable):
 		return http.StatusConflict
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:

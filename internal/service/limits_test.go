@@ -1,0 +1,325 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hopp/internal/sim"
+)
+
+// seedReq is quickReq with a distinct seed, so each call is a distinct
+// cache key (a real run, not a hit).
+func seedReq(seed int64) RunRequest {
+	req := quickReq()
+	req.Seed = seed
+	return req
+}
+
+// instantSim is a runSim stub that completes immediately.
+func instantSim(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+	return sim.Metrics{System: "test", CompletionTime: 1}, nil
+}
+
+// waitCounters polls until pred sees a satisfying snapshot.
+func waitCounters(t *testing.T, e *Engine, pred func(MetricsSnapshot) bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred(e.Metrics()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never reached; metrics: %+v", e.Metrics())
+}
+
+// Over-limit submissions must fail fast with ErrOverloaded and leave no
+// registry entry behind (the fail-fast half of admission control).
+func TestSubmitOverloadedRejectsFast(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, MaxQueue: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.runSim = func(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return sim.Metrics{System: "test"}, nil
+		case <-ctx.Done():
+			return sim.Metrics{}, ctx.Err()
+		}
+	}
+	if _, err := e.Submit(seedReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // first run holds the only worker
+	if _, err := e.Submit(seedReq(2)); err != nil {
+		t.Fatalf("second submit (fills the queue): %v", err)
+	}
+	_, err := e.Submit(seedReq(3))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit submit = %v, want ErrOverloaded", err)
+	}
+	if got := len(e.Runs()); got != 2 {
+		t.Fatalf("rejected submission left a registry entry: %d runs, want 2", got)
+	}
+	m := e.Metrics()
+	if m.RunsRejected != 1 {
+		t.Fatalf("runs_rejected = %d, want 1", m.RunsRejected)
+	}
+	if m.RunsSubmitted != 2 {
+		t.Fatalf("runs_submitted = %d, want 2 (rejections don't count)", m.RunsSubmitted)
+	}
+	close(release)
+}
+
+// A run exceeding the per-run deadline must land in StateFailed with the
+// distinct timeout error, move the runs_timed_out counter, and free its
+// worker for the next run.
+func TestRunTimeoutFailsRunAndFreesWorker(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, RunTimeout: 30 * time.Millisecond})
+	e.runSim = func(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+		if req.Seed == 2 { // the follow-up run: well-behaved
+			return sim.Metrics{System: "test", CompletionTime: 7}, nil
+		}
+		<-ctx.Done() // pathological run: only the deadline frees it
+		return sim.Metrics{}, ctx.Err()
+	}
+	stuck, err := e.Submit(seedReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, e, stuck.ID)
+	if final.State != StateFailed {
+		t.Fatalf("timed-out run state = %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, ErrRunTimeout.Error()) {
+		t.Fatalf("timed-out run error = %q, want it to mention %q", final.Error, ErrRunTimeout)
+	}
+	m := e.Metrics()
+	if m.RunsTimedOut != 1 || m.RunsFailed != 1 {
+		t.Fatalf("timeout counters = timed_out %d failed %d, want 1/1", m.RunsTimedOut, m.RunsFailed)
+	}
+	// The worker must be free: a normal run completes.
+	next, err := e.Submit(seedReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, e, next.ID); st.State != StateDone {
+		t.Fatalf("run after timeout = %s (%s), want done (worker not freed?)", st.State, st.Error)
+	}
+}
+
+// Cancellation must stay distinguishable from a timeout: a user Cancel
+// under an armed -run-timeout still lands in StateCancelled.
+func TestCancelIsNotMistakenForTimeout(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, RunTimeout: time.Hour})
+	started := make(chan struct{})
+	e.runSim = func(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+		close(started)
+		<-ctx.Done()
+		return sim.Metrics{}, ctx.Err()
+	}
+	st, err := e.Submit(seedReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := e.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, e, st.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("cancelled run state = %s, want cancelled", final.State)
+	}
+	if got := e.Metrics().RunsTimedOut; got != 0 {
+		t.Fatalf("runs_timed_out = %d after a plain cancel, want 0", got)
+	}
+}
+
+// Terminal runs past the retention count are evicted oldest-first and
+// their IDs answer ErrUnknownRun (the 404-after-eviction contract).
+func TestRegistryEvictsTerminalRunsPastRetention(t *testing.T) {
+	const retain, total = 4, 20
+	e := newTestEngine(t, Options{Workers: 2, RetainRuns: retain})
+	e.runSim = instantSim
+	var first string
+	for i := 0; i < total; i++ {
+		st, err := e.Submit(seedReq(int64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st.ID
+		}
+	}
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.RunsCompleted == total })
+	m := e.Metrics()
+	if m.RegistrySize != retain {
+		t.Fatalf("registry_size = %d after %d runs, want %d", m.RegistrySize, total, retain)
+	}
+	if m.RegistryEvictions != total-retain {
+		t.Fatalf("registry_evictions = %d, want %d", m.RegistryEvictions, total-retain)
+	}
+	if got := len(e.Runs()); got != retain {
+		t.Fatalf("Runs() lists %d entries, want %d", got, retain)
+	}
+	if _, err := e.Status(first); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("Status(evicted) = %v, want ErrUnknownRun", err)
+	}
+	if err := e.Cancel(first); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("Cancel(evicted) = %v, want ErrUnknownRun", err)
+	}
+}
+
+// Age-based eviction drops finished runs even while the count bound has
+// room, triggered lazily by the next submission.
+func TestRegistryEvictsByAge(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, RetainRuns: 100, RetainAge: 20 * time.Millisecond})
+	e.runSim = instantSim
+	old, err := e.Submit(seedReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, e, old.ID)
+	time.Sleep(60 * time.Millisecond)
+	fresh, err := e.Submit(seedReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Status(old.ID); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("Status(aged-out) = %v, want ErrUnknownRun", err)
+	}
+	if st := waitDone(t, e, fresh.ID); st.State != StateDone {
+		t.Fatalf("fresh run = %s, want done", st.State)
+	}
+}
+
+// The sustained-load regression: submitting 10x the retention limit must
+// leave registry size, queue depth, and the heap bounded — the leak this
+// PR exists to close. Overloaded submissions are retried, modeling a
+// well-behaved client honoring 429 + Retry-After.
+func TestSustainedLoadStaysBounded(t *testing.T) {
+	const (
+		workers  = 4
+		retain   = 32
+		maxQueue = 16
+		total    = 10 * retain
+	)
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	e := newTestEngine(t, Options{Workers: workers, RetainRuns: retain, MaxQueue: maxQueue})
+	e.runSim = instantSim
+	maxRegistry, maxDepth := 0, 0
+	for i := 0; i < total; i++ {
+		for {
+			_, err := e.Submit(seedReq(int64(i + 1)))
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			time.Sleep(time.Millisecond) // the Retry-After dance
+		}
+		m := e.Metrics()
+		if m.RegistrySize > maxRegistry {
+			maxRegistry = m.RegistrySize
+		}
+		if m.QueueDepth > maxDepth {
+			maxDepth = m.QueueDepth
+		}
+	}
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.RunsCompleted == total })
+
+	// Queue depth plateaus at its bound; the registry at retention plus
+	// whatever can legitimately be in flight.
+	if maxDepth > maxQueue {
+		t.Fatalf("queue depth peaked at %d, bound is %d", maxDepth, maxQueue)
+	}
+	if limit := retain + maxQueue + workers; maxRegistry > limit {
+		t.Fatalf("registry peaked at %d, bound is %d", maxRegistry, limit)
+	}
+	final := e.Metrics()
+	if final.RegistrySize != retain {
+		t.Fatalf("registry_size settled at %d, want %d", final.RegistrySize, retain)
+	}
+	if final.RegistryEvictions != total-retain {
+		t.Fatalf("registry_evictions = %d, want %d", final.RegistryEvictions, total-retain)
+	}
+
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	// Generous bound: the point is catching O(total-submissions) leaks
+	// (the old registry grew without limit), not byte-exact accounting.
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 32<<20 {
+		t.Fatalf("heap grew %d bytes over %d runs; registry leak?", growth, total)
+	}
+}
+
+// HTTP surface of admission control: over-limit submissions get 429 with
+// a Retry-After header.
+func TestHTTP429OnOverload(t *testing.T) {
+	e, srv := newTestServer(t, Options{Workers: 1, MaxQueue: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.runSim = func(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return sim.Metrics{System: "test"}, nil
+		case <-ctx.Done():
+			return sim.Metrics{}, ctx.Err()
+		}
+	}
+	defer close(release)
+	if _, code := postRun(t, srv.URL, seedReq(1)); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	<-started
+	if _, code := postRun(t, srv.URL, seedReq(2)); code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit = %d, want 202", code)
+	}
+	b, _ := json.Marshal(seedReq(3))
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+}
+
+// HTTP surface of retention: an evicted run's ID answers 404.
+func TestHTTP404AfterEviction(t *testing.T) {
+	e, srv := newTestServer(t, Options{Workers: 1, RetainRuns: 1})
+	e.runSim = instantSim
+	first, _ := postRun(t, srv.URL, seedReq(1))
+	pollRun(t, srv.URL, first.ID)
+	second, _ := postRun(t, srv.URL, seedReq(2))
+	pollRun(t, srv.URL, second.ID) // 1 worker: first finished before this, so it's evicted
+	resp := getJSON(t, srv.URL+"/v1/runs/"+first.ID, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET evicted run = %d, want 404", resp.StatusCode)
+	}
+	resp = getJSON(t, srv.URL+"/v1/runs/"+second.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET retained run = %d, want 200", resp.StatusCode)
+	}
+}

@@ -5,18 +5,21 @@ import "sync/atomic"
 // counters are the engine's expvar-style runtime counters. All fields
 // are monotonic except the gauges derived at snapshot time.
 type counters struct {
-	runsSubmitted  atomic.Uint64
-	runsStarted    atomic.Uint64
-	runsCompleted  atomic.Uint64
-	runsFailed     atomic.Uint64
-	runsCancelled  atomic.Uint64
-	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
-	expStarted     atomic.Uint64
-	expCompleted   atomic.Uint64
-	expFailed      atomic.Uint64
-	runWallNS      atomic.Int64 // total wall time spent executing runs
-	runSimulatedNS atomic.Int64 // total simulated time produced by runs
+	runsSubmitted     atomic.Uint64
+	runsStarted       atomic.Uint64
+	runsCompleted     atomic.Uint64
+	runsFailed        atomic.Uint64
+	runsCancelled     atomic.Uint64
+	runsRejected      atomic.Uint64 // fail-fast admission rejections (429s)
+	runsTimedOut      atomic.Uint64 // subset of runsFailed that hit -run-timeout
+	registryEvictions atomic.Uint64 // terminal runs dropped by retention
+	cacheHits         atomic.Uint64
+	cacheMisses       atomic.Uint64
+	expStarted        atomic.Uint64
+	expCompleted      atomic.Uint64
+	expFailed         atomic.Uint64
+	runWallNS         atomic.Int64 // total wall time spent executing runs
+	runSimulatedNS    atomic.Int64 // total simulated time produced by runs
 }
 
 // MetricsSnapshot is the /metrics payload: a point-in-time copy of every
@@ -28,6 +31,18 @@ type MetricsSnapshot struct {
 	RunsCompleted uint64 `json:"runs_completed"`
 	RunsFailed    uint64 `json:"runs_failed"`
 	RunsCancelled uint64 `json:"runs_cancelled"`
+	// RunsRejected counts submissions shed by admission control (HTTP
+	// 429); they never entered the registry. RunsTimedOut is the subset
+	// of RunsFailed that exceeded the per-run deadline.
+	RunsRejected uint64 `json:"runs_rejected"`
+	RunsTimedOut uint64 `json:"runs_timed_out"`
+
+	// RegistrySize is the live run-registry gauge; RegistryEvictions
+	// counts terminal runs dropped by the retention policy (their IDs
+	// answer 404 afterwards). RetainRuns echoes the configured bound.
+	RegistrySize      int    `json:"registry_size"`
+	RegistryEvictions uint64 `json:"registry_evictions"`
+	RetainRuns        int    `json:"retain_runs"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -38,8 +53,18 @@ type MetricsSnapshot struct {
 	ExperimentsFailed    uint64 `json:"experiments_failed"`
 
 	QueueDepth int `json:"queue_depth"`
-	ActiveRuns int `json:"active_runs"`
-	Workers    int `json:"workers"`
+	// QueueLimit is the admission bound (0 = unbounded); RunTimeoutNS is
+	// the per-run deadline (0 = none). Both echo configuration so a
+	// scraper can alert on depth/limit ratio without knowing the flags.
+	QueueLimit   int   `json:"queue_limit"`
+	RunTimeoutNS int64 `json:"run_timeout_ns"`
+	ActiveRuns   int   `json:"active_runs"`
+	Workers      int   `json:"workers"`
+
+	// CatalogWorkloads/CatalogSystems size the request space servable by
+	// this build — useful when fleet rollouts mix catalog versions.
+	CatalogWorkloads int `json:"catalog_workloads"`
+	CatalogSystems   int `json:"catalog_systems"`
 
 	// RunWallNS is total wall-clock nanoseconds workers spent executing
 	// runs; RunSimulatedNS is the total simulated nanoseconds those runs
@@ -55,6 +80,9 @@ func (c *counters) snapshot() MetricsSnapshot {
 		RunsCompleted:        c.runsCompleted.Load(),
 		RunsFailed:           c.runsFailed.Load(),
 		RunsCancelled:        c.runsCancelled.Load(),
+		RunsRejected:         c.runsRejected.Load(),
+		RunsTimedOut:         c.runsTimedOut.Load(),
+		RegistryEvictions:    c.registryEvictions.Load(),
 		CacheHits:            c.cacheHits.Load(),
 		CacheMisses:          c.cacheMisses.Load(),
 		ExperimentsStarted:   c.expStarted.Load(),

@@ -20,30 +20,48 @@ import (
 	"sync"
 )
 
-// ErrPoolClosed is returned by Submit after Close.
-var ErrPoolClosed = errors.New("service: pool closed")
+// Pool errors.
+var (
+	// ErrPoolClosed is returned by Submit after Close.
+	ErrPoolClosed = errors.New("service: pool closed")
+	// ErrQueueFull is returned by Submit when the pending queue is at
+	// its configured bound; the caller decides how to shed the load.
+	ErrQueueFull = errors.New("service: pool queue full")
+)
 
-// Pool is a bounded worker pool with an unbounded FIFO queue:
-// submissions never block, jobs start in submission order, and at most
-// `workers` jobs run at once. Close drains every queued job before
+// Pool is a bounded worker pool with a FIFO queue: submissions never
+// block, jobs start in submission order, and at most `workers` jobs run
+// at once. The queue itself may be bounded too — over-limit submissions
+// fail fast with ErrQueueFull instead of growing memory without bound
+// under sustained overload. Close drains every queued job before
 // returning, which is what gives the daemon (and hoppexp -parallel)
 // graceful shutdown.
 type Pool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []func()
-	active  int
-	closed  bool
-	workers int
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	active   int
+	closed   bool
+	workers  int
+	maxQueue int // 0 = unbounded
+	wg       sync.WaitGroup
 }
 
-// NewPool starts a pool of n workers; n <= 0 means GOMAXPROCS.
-func NewPool(n int) *Pool {
+// NewPool starts a pool of n workers with an unbounded queue; n <= 0
+// means GOMAXPROCS.
+func NewPool(n int) *Pool { return NewPoolWithQueue(n, 0) }
+
+// NewPoolWithQueue starts a pool of n workers (n <= 0 means GOMAXPROCS)
+// whose pending queue holds at most maxQueue jobs; maxQueue <= 0 means
+// unbounded.
+func NewPoolWithQueue(n, maxQueue int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: n}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	p := &Pool{workers: n, maxQueue: maxQueue}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -55,13 +73,20 @@ func NewPool(n int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// MaxQueue returns the pending-queue bound; 0 means unbounded.
+func (p *Pool) MaxQueue() int { return p.maxQueue }
+
 // Submit enqueues a job; it runs when a worker frees up, after every
-// earlier submission has been picked up.
+// earlier submission has been picked up. With a bounded queue, Submit
+// returns ErrQueueFull once the pending depth reaches the limit.
 func (p *Pool) Submit(job func()) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrPoolClosed
+	}
+	if p.maxQueue > 0 && len(p.queue) >= p.maxQueue {
+		return ErrQueueFull
 	}
 	p.queue = append(p.queue, job)
 	p.cond.Signal()

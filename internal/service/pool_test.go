@@ -44,6 +44,42 @@ func TestPoolFIFOWithOneWorker(t *testing.T) {
 	}
 }
 
+// A bounded queue sheds over-limit submissions with ErrQueueFull and
+// accepts again once depth drops.
+func TestPoolQueueBackpressure(t *testing.T) {
+	p := NewPoolWithQueue(1, 2)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue empty
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(func() {}); err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+	}
+	if err := p.Submit(func() {}); err != ErrQueueFull {
+		t.Fatalf("over-limit Submit = %v, want ErrQueueFull", err)
+	}
+	if got := p.QueueDepth(); got != 2 {
+		t.Fatalf("queue depth = %d, want 2 (rejected job must not enqueue)", got)
+	}
+	close(gate)
+	// Depth drains as the worker catches up; submissions are accepted again.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.QueueDepth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("Submit after drain = %v", err)
+	}
+	p.Close()
+}
+
 func TestPoolSubmitAfterClose(t *testing.T) {
 	p := NewPool(1)
 	p.Close()

@@ -92,7 +92,18 @@ func NewBase(name string, regions []Region, think vclock.Duration, loops int, bu
 	if loops <= 0 {
 		loops = 1
 	}
-	return &Base{name: name, regions: regions, think: think, loops: loops, build: build}
+	b := &Base{name: name, regions: regions, think: think, loops: loops, build: build}
+	// Precompute the footprint from a canonical seed-0 build so
+	// FootprintPages is a plain read: a generator shared across
+	// goroutines (e.g. for footprint sizing while another runs it) must
+	// not race on a lazily written field.
+	visits := b.build(rand.New(rand.NewSource(0)))
+	seen := make(map[memsim.VPN]struct{}, len(visits))
+	for _, v := range visits {
+		seen[v.vpn] = struct{}{}
+	}
+	b.footprint = len(seen)
+	return b
 }
 
 // Name implements Generator.
@@ -103,21 +114,12 @@ func (b *Base) Regions() []Region { return b.regions }
 
 // FootprintPages implements Generator: the number of *distinct* pages
 // the program actually touches (memory limits are fractions of this).
-// The count always comes from a canonical seed-0 build and is cached, so
-// limits are identical across runs regardless of the run seed; for
-// randomized programs the distinct count is stable across seeds to
-// within a few pages anyway.
-func (b *Base) FootprintPages() int {
-	if b.footprint == 0 {
-		visits := b.build(rand.New(rand.NewSource(0)))
-		seen := make(map[memsim.VPN]struct{}, len(visits))
-		for _, v := range visits {
-			seen[v.vpn] = struct{}{}
-		}
-		b.footprint = len(seen)
-	}
-	return b.footprint
-}
+// The count always comes from a canonical seed-0 build done once in
+// NewBase, so limits are identical across runs regardless of the run
+// seed (for randomized programs the distinct count is stable across
+// seeds to within a few pages anyway) and concurrent callers read an
+// immutable field.
+func (b *Base) FootprintPages() int { return b.footprint }
 
 // RegionPages returns the total declared region size (the VMA extent,
 // which can exceed the touched footprint).

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 
 	"hopp/internal/memsim"
@@ -301,4 +302,24 @@ func TestRandomFloor(t *testing.T) {
 	if len(pages) < 4000 {
 		t.Fatalf("random touches collapsed: %d", len(pages))
 	}
+}
+
+// FootprintPages must be safe on a Generator shared across goroutines:
+// the count is precomputed in NewBase, so concurrent readers (run under
+// `go test -race ./internal/workload`, part of make check) see an
+// immutable field instead of racing on a lazy write.
+func TestFootprintPagesConcurrentReaders(t *testing.T) {
+	g := NewSequential(256, 2)
+	want := g.FootprintPages()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := g.FootprintPages(); got != want {
+				t.Errorf("concurrent FootprintPages = %d, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
 }

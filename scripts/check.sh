@@ -1,6 +1,7 @@
 #!/bin/sh
 # Quick pre-merge check: static analysis plus race-mode tests over the
-# concurrent subsystems (the service engine and the simulator it drives).
+# concurrent subsystems (the service engine, the simulator it drives,
+# and the workload generators shared across runs).
 # The full tier-1 gate remains `go build ./... && go test ./...`.
 set -eu
 cd "$(dirname "$0")/.."
@@ -8,7 +9,21 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (service + sim, quick mode)"
-go test -race -count=1 ./internal/service/... ./internal/sim/...
+# copylocks explicitly as a hard gate (a copied sync.Mutex in the
+# service layer silently breaks every bound this code enforces). shadow
+# is not a built-in vet analyzer; gate on it only when the standalone
+# tool is installed so the script has no dependency the toolchain
+# doesn't ship.
+echo "== go vet -copylocks ./..."
+go vet -copylocks ./...
+if shadow_tool=$(command -v shadow 2>/dev/null); then
+    echo "== go vet -vettool=shadow ./..."
+    go vet -vettool="$shadow_tool" ./...
+else
+    echo "== shadow analyzer not installed; skipping (copylocks gated above)"
+fi
+
+echo "== go test -race (service + sim + workload, quick mode)"
+go test -race -count=1 ./internal/service/... ./internal/sim/... ./internal/workload/...
 
 echo "check.sh: OK"
