@@ -1,13 +1,18 @@
 # Convenience targets; the authoritative commands live in ROADMAP.md
 # (tier-1) and scripts/check.sh (quick race-mode gate).
 
-.PHONY: build test check loadcheck
+.PHONY: build test check lint loadcheck
 
 build:
 	go build ./...
 
 test: build
 	go test ./...
+
+# Repo-specific determinism lint (nodeterm, maporder, ctxfirst,
+# errdrop); also runs inside `make check`.
+lint:
+	go run ./cmd/hopplint ./...
 
 check:
 	sh scripts/check.sh

@@ -11,6 +11,7 @@ package hopp
 // a bench run doubles as a regression check on the paper's shapes.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -33,7 +34,7 @@ func runExp(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables, err := e.Run(benchOpts())
+		tables, err := e.Run(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

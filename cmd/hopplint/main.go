@@ -1,0 +1,113 @@
+// Command hopplint runs the repo's determinism lint (internal/lint)
+// over the module. It is stdlib-only — go/parser and go/types with the
+// source importer — so the gate needs nothing beyond the toolchain.
+//
+// Usage:
+//
+//	hopplint ./...            # every package of the enclosing module
+//	hopplint ./internal/sim   # specific package directories
+//
+// Diagnostics print as "file:line: analyzer: message"; the exit status
+// is 1 when any finding survives, 2 on usage or load errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hopp/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hopplint ./... | hopplint <package-dir>...")
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			dir, err := filepath.Abs(arg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+				os.Exit(2)
+			}
+			p, err := loader.LoadPackage(dir, importPathFor(loader, root, dir))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	diags := lint.Check(pkgs)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: %s: %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hopplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// importPathFor maps a directory to its module import path when it sits
+// inside the module, or a synthetic path (its cleaned argument) when it
+// does not — fixture packages under testdata load either way.
+func importPathFor(l *lint.Loader, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	if rel == "." {
+		return l.Module()
+	}
+	return l.Module() + "/" + filepath.ToSlash(rel)
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"hopp"
 )
@@ -40,8 +41,13 @@ func main() {
 
 	fmt.Println("two tenants, each cgroup-limited to 50% of its own footprint")
 	fmt.Printf("%-12s %14s %14s %10s\n", "tenant", "Fastswap CT", "HoPP CT", "speedup")
-	for name, ctF := range fast.PerApp {
-		ctH := hp.PerApp[name]
+	names := make([]string, 0, len(fast.PerApp))
+	for name := range fast.PerApp { //hopplint:sorted collected names are sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ctF, ctH := fast.PerApp[name], hp.PerApp[name]
 		fmt.Printf("%-12s %14v %14v %9.1f%%\n", name, ctF, ctH,
 			(1-float64(ctH)/float64(ctF))*100)
 	}

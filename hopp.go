@@ -191,11 +191,18 @@ func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) 
 
 // RunExperiment executes one experiment and renders its tables to w.
 func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	return RunExperimentContext(context.Background(), id, opts, w)
+}
+
+// RunExperimentContext is RunExperiment honoring cancellation: the
+// first simulation to observe a done ctx fails the experiment with
+// ctx.Err().
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions, w io.Writer) error {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return &UnknownExperimentError{ID: id}
 	}
-	tables, err := e.Run(opts)
+	tables, err := e.Run(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -203,14 +210,6 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 		t.Fprint(w)
 	}
 	return nil
-}
-
-// RunExperimentContext is RunExperiment honoring cancellation: the
-// first simulation to observe a done ctx fails the experiment with
-// ctx.Err().
-func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions, w io.Writer) error {
-	opts.Ctx = ctx
-	return RunExperiment(id, opts, w)
 }
 
 // UnknownExperimentError reports a bad experiment ID.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/sim"
@@ -13,7 +15,7 @@ import (
 // model constants side by side with the paper's numbers, then the
 // end-to-end latencies measured from a live run (which add the fabric's
 // dynamic queueing on top of the constants).
-func Breakdown(o Options) ([]Table, error) {
+func Breakdown(ctx context.Context, o Options) ([]Table, error) {
 	c := vmm.DefaultCosts()
 	model := Table{
 		Title:  "§II-A: kernel swap path cost model",
@@ -32,7 +34,7 @@ func Breakdown(o Options) ([]Table, error) {
 	}
 
 	gen := workload.NewSequential(o.scale(2048), 3)
-	met, err := o.runOne(sim.Fastswap(), gen, 0.5)
+	met, err := o.runOne(ctx, sim.Fastswap(), gen, 0.5)
 	if err != nil {
 		return nil, err
 	}

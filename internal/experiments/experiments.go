@@ -15,24 +15,15 @@ import (
 	"hopp/internal/workload"
 )
 
-// Options tunes experiment scale.
+// Options tunes experiment scale. Cancellation is not an option: every
+// Experiment.Run takes its context as an explicit first parameter
+// (storing a context in a struct is exactly the construct hopplint's
+// ctxfirst analyzer forbids in this package).
 type Options struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Quick shrinks workloads ~4x for benches and CI.
 	Quick bool
-	// Ctx, when non-nil, carries cancellation and deadlines into every
-	// simulation the experiment runs; the first aborted run fails the
-	// experiment with ctx.Err(). Nil means context.Background().
-	Ctx context.Context
-}
-
-// ctx returns the effective context.
-func (o Options) ctx() context.Context {
-	if o.Ctx != nil {
-		return o.Ctx
-	}
-	return context.Background()
 }
 
 // Table is one printable result table.
@@ -85,8 +76,9 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper shows there.
 	Title string
-	// Run executes the experiment.
-	Run func(Options) ([]Table, error)
+	// Run executes the experiment; ctx cancels every simulation it
+	// drives, and the first aborted run fails it with ctx.Err().
+	Run func(ctx context.Context, o Options) ([]Table, error)
 }
 
 // All returns every experiment in paper order.
@@ -180,19 +172,19 @@ func (o Options) simConfig(frac float64) sim.Config {
 }
 
 // compareAll runs one workload under several systems plus local.
-func (o Options) compareAll(gen workload.Generator, frac float64, systems ...sim.System) (sim.Comparison, error) {
-	return sim.CompareWithContext(o.ctx(), o.simConfig(frac), gen, systems...)
+func (o Options) compareAll(ctx context.Context, gen workload.Generator, frac float64, systems ...sim.System) (sim.Comparison, error) {
+	return sim.CompareWithContext(ctx, o.simConfig(frac), gen, systems...)
 }
 
 // runOne runs one workload under one system.
-func (o Options) runOne(sys sim.System, gen workload.Generator, frac float64) (sim.Metrics, error) {
-	return sim.RunWithContext(o.ctx(), o.simConfig(frac), sys, gen)
+func (o Options) runOne(ctx context.Context, sys sim.System, gen workload.Generator, frac float64) (sim.Metrics, error) {
+	return sim.RunWithContext(ctx, o.simConfig(frac), sys, gen)
 }
 
 // sortedKeys returns map keys in stable order.
 func sortedKeys[M ~map[string]V, V any](m M) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //hopplint:sorted collected keys are sorted below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func runExp(t *testing.T, id string) []Table {
 	if !ok {
 		t.Fatalf("experiment %s missing", id)
 	}
-	tables, err := e.Run(quick())
+	tables, err := e.Run(context.Background(), quick())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -289,6 +290,30 @@ func TestFig22Shape(t *testing.T) {
 	}
 	if speedup["HoPP"] < speedup["HoPP(offset=1K)"] {
 		t.Fatal("adaptive HoPP lost to the far-fixed offset")
+	}
+}
+
+// Regenerating an artifact must be byte-stable: the same experiment,
+// seed, and options rendered twice in one process produce identical
+// bytes. This is the determinism contract hopplint guards (no wall
+// clock, no unseeded rand, no unsorted map ranges on output paths) —
+// checked end to end for one table and one figure.
+func TestArtifactsAreByteStable(t *testing.T) {
+	render := func(id string) []byte {
+		var buf bytes.Buffer
+		for _, tab := range runExp(t, id) {
+			tab.Fprint(&buf)
+		}
+		return buf.Bytes()
+	}
+	for _, id := range []string{"table2", "fig1"} {
+		first, second := render(id), render(id)
+		if len(first) == 0 {
+			t.Fatalf("%s rendered no bytes", id)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: two in-process regenerations differ:\n--- first\n%s\n--- second\n%s", id, first, second)
+		}
 	}
 }
 

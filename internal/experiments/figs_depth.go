@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/sim"
@@ -23,14 +25,14 @@ func fig16Workloads(o Options) []workload.Generator {
 
 // Fig16 regenerates the Depth-N comparison: fixed-depth early PTE
 // injection does not reliably beat Fastswap, while HoPP does.
-func Fig16(o Options) ([]Table, error) {
+func Fig16(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 16: normalized performance of Depth-16, Depth-32, Fastswap, HoPP (50% local)",
 		Header: []string{"Workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"},
 		Note:   "paper: Depth-N loses to Fastswap on some workloads (e.g. NPB-MG); HoPP is the best of the four",
 	}
 	for _, g := range fig16Workloads(o) {
-		cmp, err := o.compareAll(g, 0.5, sim.DepthN(16), sim.DepthN(32), sim.Fastswap(), sim.HoPP())
+		cmp, err := o.compareAll(ctx, g, 0.5, sim.DepthN(16), sim.DepthN(32), sim.Fastswap(), sim.HoPP())
 		if err != nil {
 			return nil, fmt.Errorf("fig16 %s: %w", g.Name(), err)
 		}
@@ -45,20 +47,20 @@ func Fig16(o Options) ([]Table, error) {
 
 // Fig17 regenerates the remote access study: demand remote reads of each
 // system normalized to a no-prefetch Fastswap run.
-func Fig17(o Options) ([]Table, error) {
+func Fig17(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 17: remote accesses normalized to Fastswap-without-prefetching",
 		Header: []string{"Workload", "Depth-16", "Depth-32", "Fastswap", "HoPP"},
 		Note:   "paper: Depth-N leaves the most remote accesses (rigid algorithm); HoPP need not have the fewest to win — early injection does the rest",
 	}
 	for _, g := range fig16Workloads(o) {
-		none, err := o.runOne(sim.NoPrefetch(), g, 0.5)
+		none, err := o.runOne(ctx, sim.NoPrefetch(), g, 0.5)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{g.Name()}
 		for _, sys := range []sim.System{sim.DepthN(16), sim.DepthN(32), sim.Fastswap(), sim.HoPP()} {
-			met, err := o.runOne(sys, g, 0.5)
+			met, err := o.runOne(ctx, sys, g, 0.5)
 			if err != nil {
 				return nil, fmt.Errorf("fig17 %s/%s: %w", g.Name(), sys.Name, err)
 			}

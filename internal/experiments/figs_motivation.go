@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/core"
@@ -13,14 +15,14 @@ import (
 // Fig1 reproduces the Fig. 1 motivation: on two intertwined streams with
 // interference pages, Leap's fault-history majority voting collapses
 // while HoPP's full-trace training keeps accuracy and coverage high.
-func Fig1(o Options) ([]Table, error) {
+func Fig1(ctx context.Context, o Options) ([]Table, error) {
 	gen := workload.NewIntertwined(o.scale(2048), 0.05)
 	t := Table{
 		Title:  "Fig. 1: intertwined streams (stride 2 + stride 1 + interference)",
 		Header: []string{"System", "Accuracy", "Coverage", "MajorFaults", "NormPerf"},
 		Note:   "paper: Leap cannot derive stable strides from interleaved fault history; full memory trace can",
 	}
-	cmp, err := o.compareAll(gen, 0.5, sim.Leap(), sim.Fastswap(), sim.HoPP())
+	cmp, err := o.compareAll(ctx, gen, 0.5, sim.Leap(), sim.Fastswap(), sim.HoPP())
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +65,7 @@ func pageTrace(gen workload.Generator, seed int64, max int) []memsim.VPN {
 
 // Fig2 reproduces the Fig. 2 pattern study: a ladder stream's page trace
 // and which tier identifies it.
-func Fig2(o Options) ([]Table, error) {
+func Fig2(ctx context.Context, o Options) ([]Table, error) {
 	gen := workload.NewLadder(64, 4)
 	pages := pageTrace(gen, o.Seed, 4096)
 	base := pages[0]
@@ -94,7 +96,7 @@ func Fig2(o Options) ([]Table, error) {
 }
 
 // Fig3 reproduces the Fig. 3 pattern study for ripple streams.
-func Fig3(o Options) ([]Table, error) {
+func Fig3(ctx context.Context, o Options) ([]Table, error) {
 	gen := workload.NewRipple(o.scale(1024), 2)
 	pages := pageTrace(gen, o.Seed, 4096)
 	base := pages[0]

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/sim"
@@ -9,10 +11,10 @@ import (
 
 // suiteComparisons runs every workload in a suite against Fastswap and
 // HoPP at one memory fraction.
-func suiteComparisons(o Options, gens []workload.Generator, frac float64) ([]sim.Comparison, error) {
+func suiteComparisons(ctx context.Context, o Options, gens []workload.Generator, frac float64) ([]sim.Comparison, error) {
 	var out []sim.Comparison
 	for _, g := range gens {
-		cmp, err := o.compareAll(g, frac, sim.Fastswap(), sim.HoPP())
+		cmp, err := o.compareAll(ctx, g, frac, sim.Fastswap(), sim.HoPP())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)
 		}
@@ -23,7 +25,7 @@ func suiteComparisons(o Options, gens []workload.Generator, frac float64) ([]sim
 
 // Fig9 regenerates the non-JVM normalized performance comparison at 50%
 // and 25% local memory.
-func Fig9(o Options) ([]Table, error) {
+func Fig9(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 9: normalized performance (CT_local/CT_system), non-JVM workloads",
 		Header: []string{"Workload", "Fastswap 50%", "HoPP 50%", "Fastswap 25%", "HoPP 25%"},
@@ -32,7 +34,7 @@ func Fig9(o Options) ([]Table, error) {
 	var sums [4]float64
 	var n int
 	for _, frac := range []float64{0.5, 0.25} {
-		cmps, err := suiteComparisons(o, NonJVMWorkloads(o), frac)
+		cmps, err := suiteComparisons(ctx, o, NonJVMWorkloads(o), frac)
 		if err != nil {
 			return nil, err
 		}
@@ -81,8 +83,8 @@ func accCovTables(titleAcc, titleCov string, cmps []sim.Comparison) (Table, Tabl
 }
 
 // Fig10 regenerates the non-JVM prefetch accuracy comparison.
-func Fig10(o Options) ([]Table, error) {
-	cmps, err := suiteComparisons(o, NonJVMWorkloads(o), 0.5)
+func Fig10(ctx context.Context, o Options) ([]Table, error) {
+	cmps, err := suiteComparisons(ctx, o, NonJVMWorkloads(o), 0.5)
 	if err != nil {
 		return nil, err
 	}
@@ -94,8 +96,8 @@ func Fig10(o Options) ([]Table, error) {
 
 // Fig11 regenerates the non-JVM coverage comparison with HoPP's split
 // into DRAM hits (early PTE injection) and swapcache hits.
-func Fig11(o Options) ([]Table, error) {
-	cmps, err := suiteComparisons(o, NonJVMWorkloads(o), 0.5)
+func Fig11(ctx context.Context, o Options) ([]Table, error) {
+	cmps, err := suiteComparisons(ctx, o, NonJVMWorkloads(o), 0.5)
 	if err != nil {
 		return nil, err
 	}
@@ -106,13 +108,13 @@ func Fig11(o Options) ([]Table, error) {
 }
 
 // Fig12 regenerates the Spark-suite normalized performance comparison.
-func Fig12(o Options) ([]Table, error) {
+func Fig12(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 12: normalized performance, Spark workloads (local memory = 1/3 of footprint, the paper's 11 of 33 GB)",
 		Header: []string{"Workload", "Fastswap", "HoPP"},
 		Note:   "paper: HoPP averages 35.7% vs Fastswap 26.4%; biggest win on Spark-KMeans, smallest on GraphX-CC",
 	}
-	cmps, err := suiteComparisons(o, SparkWorkloads(o), 1.0/3)
+	cmps, err := suiteComparisons(ctx, o, SparkWorkloads(o), 1.0/3)
 	if err != nil {
 		return nil, err
 	}
@@ -128,8 +130,8 @@ func Fig12(o Options) ([]Table, error) {
 }
 
 // Fig13 regenerates Spark prefetch accuracy.
-func Fig13(o Options) ([]Table, error) {
-	cmps, err := suiteComparisons(o, SparkWorkloads(o), 1.0/3)
+func Fig13(ctx context.Context, o Options) ([]Table, error) {
+	cmps, err := suiteComparisons(ctx, o, SparkWorkloads(o), 1.0/3)
 	if err != nil {
 		return nil, err
 	}
@@ -140,8 +142,8 @@ func Fig13(o Options) ([]Table, error) {
 }
 
 // Fig14 regenerates Spark prefetch coverage.
-func Fig14(o Options) ([]Table, error) {
-	cmps, err := suiteComparisons(o, SparkWorkloads(o), 1.0/3)
+func Fig14(ctx context.Context, o Options) ([]Table, error) {
+	cmps, err := suiteComparisons(ctx, o, SparkWorkloads(o), 1.0/3)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +156,7 @@ func Fig14(o Options) ([]Table, error) {
 // Fig15 regenerates the multi-application experiment: pairs of programs
 // run together, each cgroup-limited to 50% of its own footprint, and we
 // report HoPP's speedup over Fastswap per application.
-func Fig15(o Options) ([]Table, error) {
+func Fig15(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 15: HoPP speedup over Fastswap with multiple applications running together",
 		Header: []string{"Pair", "App", "CT Fastswap", "CT HoPP", "Speedup"},
@@ -173,7 +175,7 @@ func Fig15(o Options) ([]Table, error) {
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			return m.RunContext(o.ctx())
+			return m.RunContext(ctx)
 		}
 		fast, err := run(sim.Fastswap())
 		if err != nil {

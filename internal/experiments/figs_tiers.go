@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/core"
@@ -40,20 +42,20 @@ func tierWorkloads(o Options) []workload.Generator {
 
 // Fig18 regenerates the tier-ablation speedup study: completion time
 // speedup over Fastswap as tiers are added.
-func Fig18(o Options) ([]Table, error) {
+func Fig18(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 18: speedup over Fastswap as prefetch tiers are added",
 		Header: []string{"Workload", "SSP", "SSP+LSP", "SSP+LSP+RSP"},
 		Note:   "paper: speedup grows with each tier; coverage gains come at no accuracy cost",
 	}
 	for _, g := range tierWorkloads(o) {
-		fast, err := o.runOne(sim.Fastswap(), g, 0.5)
+		fast, err := o.runOne(ctx, sim.Fastswap(), g, 0.5)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{g.Name()}
 		for _, sys := range hoppTiers() {
-			met, err := o.runOne(sys, g, 0.5)
+			met, err := o.runOne(ctx, sys, g, 0.5)
 			if err != nil {
 				return nil, fmt.Errorf("fig18 %s/%s: %w", g.Name(), sys.Name, err)
 			}
@@ -65,14 +67,14 @@ func Fig18(o Options) ([]Table, error) {
 }
 
 // Fig19 regenerates per-tier prefetch accuracy under the full cascade.
-func Fig19(o Options) ([]Table, error) {
+func Fig19(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 19: per-tier prefetch accuracy (full three-tier HoPP)",
 		Header: []string{"Workload", "SSP", "LSP", "RSP"},
 		Note:   "paper: every tier stays above 90%; combining them does not dilute accuracy",
 	}
 	for _, g := range tierWorkloads(o) {
-		met, err := o.runOne(sim.HoPP(), g, 0.5)
+		met, err := o.runOne(ctx, sim.HoPP(), g, 0.5)
 		if err != nil {
 			return nil, err
 		}
@@ -91,14 +93,14 @@ func Fig19(o Options) ([]Table, error) {
 
 // Fig20 regenerates per-tier coverage contribution under the full
 // cascade: what share of would-be remote requests each tier absorbed.
-func Fig20(o Options) ([]Table, error) {
+func Fig20(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 20: per-tier coverage contribution (full three-tier HoPP)",
 		Header: []string{"Workload", "SSP", "LSP", "RSP", "Total coverage"},
 		Note:   "paper: SSP takes the major part; LSP adds up to ~9% (HPL) and RSP ~10% (NPB-MG)",
 	}
 	for _, g := range tierWorkloads(o) {
-		met, err := o.runOne(sim.HoPP(), g, 0.5)
+		met, err := o.runOne(ctx, sim.HoPP(), g, 0.5)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +121,7 @@ func Fig20(o Options) ([]Table, error) {
 
 // Fig21 regenerates the accuracy/coverage vs performance scatter: one
 // row per (workload, system) point.
-func Fig21(o Options) ([]Table, error) {
+func Fig21(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Fig. 21: accuracy and coverage vs normalized performance (50% local)",
 		Header: []string{"Workload", "System", "Accuracy", "Coverage", "NormPerf"},
@@ -127,7 +129,7 @@ func Fig21(o Options) ([]Table, error) {
 	}
 	gens := append(NonJVMWorkloads(o), SparkWorkloads(o)...)
 	for _, g := range gens {
-		cmp, err := o.compareAll(g, 0.5, sim.Fastswap(), sim.HoPP())
+		cmp, err := o.compareAll(ctx, g, 0.5, sim.Fastswap(), sim.HoPP())
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +146,7 @@ func Fig21(o Options) ([]Table, error) {
 // Fig22 regenerates the §VI-E technique ablation on the two-thread
 // add-up microbenchmark: Leap vs VMA vs fixed-offset HoPP vs adaptive
 // HoPP, all against the Fastswap baseline.
-func Fig22(o Options) ([]Table, error) {
+func Fig22(ctx context.Context, o Options) ([]Table, error) {
 	gen := workload.NewAddUp(2, o.scale(2048))
 	fixed := func(name string, offset float64) sim.System {
 		p := core.DefaultParams()
@@ -166,17 +168,17 @@ func Fig22(o Options) ([]Table, error) {
 		Header: []string{"System", "Speedup vs Fastswap", "Accuracy", "Coverage", "NormPerf"},
 		Note:   "paper: Leap < Fastswap (interleaved streams); VMA +3.6%; HoPP ≈ +40% over VMA via early PTE injection; dynamic offset beats both fixed extremes",
 	}
-	fast, err := o.runOne(sim.Fastswap(), gen, 0.5)
+	fast, err := o.runOne(ctx, sim.Fastswap(), gen, 0.5)
 	if err != nil {
 		return nil, err
 	}
-	local, err := o.runOne(sim.NoPrefetch(), gen, 0)
+	local, err := o.runOne(ctx, sim.NoPrefetch(), gen, 0)
 	if err != nil {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, []string{"Fastswap", pct(0), f3(fast.Accuracy()), f3(fast.Coverage()), f3(fast.NormalizedPerformance(local))})
 	for _, sys := range systems {
-		met, err := o.runOne(sys, gen, 0.5)
+		met, err := o.runOne(ctx, sys, gen, 0.5)
 		if err != nil {
 			return nil, fmt.Errorf("fig22 %s: %w", sys.Name, err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hopp/internal/cachesim"
@@ -50,7 +52,7 @@ func traceFillMisses(gen workload.Generator, seed int64, fn func(memsim.PPN)) {
 
 // Table2 regenerates Table II: the ratio between hot pages identified
 // and memory accesses as the HPD threshold N varies.
-func Table2(o Options) ([]Table, error) {
+func Table2(ctx context.Context, o Options) ([]Table, error) {
 	ns := []int{2, 4, 8, 16, 32}
 	t := Table{
 		Title: "Table II: hot pages identified / LLC read misses",
@@ -78,7 +80,7 @@ func Table2(o Options) ([]Table, error) {
 
 // Table3 regenerates Table III: RPT cache hit rate as its size varies,
 // using the offline hot-page trace of K-means and PageRank.
-func Table3(o Options) ([]Table, error) {
+func Table3(ctx context.Context, o Options) ([]Table, error) {
 	sizesKB := []int{1, 2, 4, 8, 16, 32, 64}
 	t := Table{
 		Title: "Table III: RPT cache hit rate vs size (KB)",
@@ -109,7 +111,7 @@ func Table3(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			met, err := m.RunContext(o.ctx())
+			met, err := m.RunContext(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/%dKB: %w", name, kb, err)
 			}
@@ -121,7 +123,7 @@ func Table3(o Options) ([]Table, error) {
 }
 
 // Table4 prints the scaled workload inventory standing in for Table IV.
-func Table4(o Options) ([]Table, error) {
+func Table4(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Table IV: workload inventory (footprints scaled from the paper's GBs)",
 		Header: []string{"Workload", "Footprint (pages)", "Footprint (MB)", "Paper footprint"},
@@ -148,14 +150,14 @@ func Table4(o Options) ([]Table, error) {
 // Table5 regenerates Table V: the extra memory bandwidth consumed by
 // writing hot pages (HPD row) and querying the in-DRAM RPT (RPT row),
 // measured on full HoPP runs at the 50% memory limit.
-func Table5(o Options) ([]Table, error) {
+func Table5(ctx context.Context, o Options) ([]Table, error) {
 	t := Table{
 		Title:  "Table V: bandwidth consumed by hot page extraction and RPT queries (%)",
 		Header: []string{"Workload", "HPD", "RPT"},
 		Note:   "paper: HPD averages 0.16% (0.09-0.30%), RPT averages 0.004%",
 	}
 	for _, g := range append(NonJVMWorkloads(o), SparkWorkloads(o)...) {
-		met, err := o.runOne(sim.HoPP(), g, 0.5)
+		met, err := o.runOne(ctx, sim.HoPP(), g, 0.5)
 		if err != nil {
 			return nil, fmt.Errorf("table5 %s: %w", g.Name(), err)
 		}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the two context rules: a context.Context parameter
+// is always the first parameter (the convention every caller in this
+// repo relies on when threading cancellation), and the deterministic
+// packages never store a context in a struct field — a stored context
+// couples pure simulation state to a request lifetime and survives the
+// call that should have bounded it.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter and must not live in deterministic-package structs",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				diags = append(diags, checkCtxParams(p, n.Name.Name, n.Type)...)
+			case *ast.FuncLit:
+				diags = append(diags, checkCtxParams(p, "function literal", n.Type)...)
+			case *ast.StructType:
+				if !DeterministicPackages[p.Name] {
+					return true
+				}
+				for _, field := range n.Fields.List {
+					if isContextType(p.Info.TypeOf(field.Type)) {
+						diags = append(diags, Diagnostic{
+							Pos:      p.Fset.Position(field.Pos()),
+							Analyzer: "ctxfirst",
+							Message:  "struct stores a context.Context; deterministic packages must take contexts as call parameters, not state",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkCtxParams flags context parameters appearing after position 0.
+// (Several trailing contexts are nonsensical and flagged one by one.)
+func checkCtxParams(p *Package, what string, ft *ast.FuncType) []Diagnostic {
+	if ft.Params == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	pos := 0
+	for _, field := range ft.Params.List {
+		isCtx := isContextType(p.Info.TypeOf(field.Type))
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos > 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(field.Pos()),
+				Analyzer: "ctxfirst",
+				Message:  what + " takes a context.Context after other parameters; the context comes first",
+			})
+		}
+		pos += n
+	}
+	return diags
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids `_ =` (and `_, _ =`) discards of calls that return an
+// error. A silently dropped error in the service layer hides an
+// overload or shutdown failure; in the simulation core it hides a
+// broken invariant. Audited discards carry //hopplint:errok <reason> on
+// the assignment, and the reason is mandatory — a bare waiver is itself
+// a finding.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding error-returning calls without //hopplint:errok <reason>",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if !allBlank(as.Lhs) || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !returnsError(p, call) {
+				return true
+			}
+			reason, waived := p.waiver(as.Pos(), "errok")
+			if waived && reason != "" {
+				return true
+			}
+			msg := "error-returning call discarded with _; handle it or waive with //hopplint:errok <reason>"
+			if waived {
+				msg = "//hopplint:errok waiver has no reason; state why the error is safe to drop"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(as.Pos()),
+				Analyzer: "errdrop",
+				Message:  msg,
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier (the shape that discards a result set wholesale).
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// returnsError reports whether the call yields an error among its
+// results.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,111 @@
+// Package lint is hopplint: repo-specific static analysis that makes
+// the simulator's determinism contract machine-checked. Every table,
+// figure, hot-page trace, and hoppd cache entry this reproduction
+// produces is only trustworthy because equal (workload, system, frac,
+// seed) inputs yield equal bytes; these analyzers fail the build on the
+// constructs that silently break that property.
+//
+// Four analyzers run over every non-test package of the module:
+//
+//   - nodeterm: inside the deterministic packages (the simulation core,
+//     see DeterministicPackages), forbids wall-clock reads (time.Now,
+//     time.Since), the global math/rand source (package-level rand
+//     functions and rand.Seed; seeded rand.New(rand.NewSource(...)) is
+//     the sanctioned form), and environment reads (os.Getenv and
+//     friends). The service and cmd layers are exempt: wall time is
+//     their job.
+//   - maporder: flags `range` over a map whose body appends to a slice,
+//     writes to an io.Writer, or formats output — the classic
+//     nondeterministic-output hazard. Audited sites that sort afterwards
+//     carry a //hopplint:sorted waiver.
+//   - ctxfirst: a context.Context parameter must come first, and the
+//     deterministic packages must not store contexts in struct fields
+//     (a stored context couples pure simulation state to request
+//     lifetime).
+//   - errdrop: forbids `_ =` discards of error-returning calls; audited
+//     discards carry //hopplint:errok <reason>.
+//
+// The driver is cmd/hopplint; scripts/check.sh runs it as a hard gate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// DeterministicPackages names the packages whose outputs must be a pure
+// function of their inputs — the simulation core and everything it is
+// built from. Matching is by package name: these are exactly the leaf
+// names under internal/, and the service/cmd layers (package service,
+// package main) are deliberately absent.
+var DeterministicPackages = map[string]bool{
+	"sim":         true,
+	"workload":    true,
+	"experiments": true,
+	"hpd":         true,
+	"mc":          true,
+	"rpt":         true,
+	"memsim":      true,
+	"cachesim":    true,
+	"proto":       true,
+	"hmtt":        true,
+	"swap":        true,
+	"vmm":         true,
+	"vclock":      true,
+	"core":        true,
+}
+
+// Diagnostic is one finding, formatted as "file:line: analyzer: message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic with the full position path.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Analyzers returns every hopplint analyzer in fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDeterm,
+		MapOrder,
+		CtxFirst,
+		ErrDrop,
+	}
+}
+
+// Check runs every analyzer over every package and returns the combined
+// findings sorted by position then analyzer, ready to print.
+func Check(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			diags = append(diags, a.Run(p)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

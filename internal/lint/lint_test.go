@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the golden files from current analyzer output.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFixture type-checks one fixture package under testdata/src. The
+// fixture's package clause (sim, experiments, core, service) decides
+// deterministic-package treatment, exactly as it does on the real tree.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadPackage(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return p
+}
+
+// render formats diagnostics the way cmd/hopplint prints them, with
+// file names reduced to their base so goldens are location-independent.
+func render(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "%s:%d: %s: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+	}
+	return sb.String()
+}
+
+// checkGolden compares analyzer output over a fixture with its golden
+// transcript.
+func checkGolden(t *testing.T, a *Analyzer, fixture, golden string) {
+	t.Helper()
+	p := loadFixture(t, fixture)
+	got := render(Check([]*Package{p}))
+	// Filter to the analyzer under test so fixtures stay focused even
+	// when a construct trips a second analyzer incidentally.
+	var kept []string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, ": "+a.Name+": ") {
+			kept = append(kept, line)
+		}
+	}
+	got = strings.Join(kept, "\n")
+	if len(kept) > 0 {
+		got += "\n"
+	}
+
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s: %v (run `go test ./internal/lint -update` to create)", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s over %s:\n--- got ---\n%s--- want ---\n%s", a.Name, fixture, got, want)
+	}
+}
+
+// expectClean asserts an analyzer reports nothing over a fixture.
+func expectClean(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	p := loadFixture(t, fixture)
+	if diags := a.Run(p); len(diags) > 0 {
+		t.Errorf("%s over %s: want no findings, got:\n%s", a.Name, fixture, render(diags))
+	}
+}
+
+func TestNoDetermFindsViolations(t *testing.T) {
+	checkGolden(t, NoDeterm, "nodeterm_bad", "nodeterm.golden")
+}
+
+func TestNoDetermAcceptsSeededRand(t *testing.T) {
+	expectClean(t, NoDeterm, "nodeterm_ok")
+}
+
+func TestNoDetermExemptsServiceLayer(t *testing.T) {
+	expectClean(t, NoDeterm, "nodeterm_exempt")
+}
+
+func TestMapOrderFindsViolations(t *testing.T) {
+	checkGolden(t, MapOrder, "maporder_bad", "maporder.golden")
+}
+
+func TestMapOrderAcceptsWaivedAndUnordered(t *testing.T) {
+	expectClean(t, MapOrder, "maporder_ok")
+}
+
+func TestCtxFirstFindsViolations(t *testing.T) {
+	checkGolden(t, CtxFirst, "ctxfirst_bad", "ctxfirst.golden")
+}
+
+func TestCtxFirstAcceptsThreadedContext(t *testing.T) {
+	expectClean(t, CtxFirst, "ctxfirst_ok")
+}
+
+func TestErrDropFindsViolations(t *testing.T) {
+	checkGolden(t, ErrDrop, "errdrop_bad", "errdrop.golden")
+}
+
+func TestErrDropAcceptsHandledAndWaived(t *testing.T) {
+	expectClean(t, ErrDrop, "errdrop_ok")
+}
+
+// TestRepoIsLintClean is the merge gate in test form: the whole module
+// must produce zero findings. scripts/check.sh runs the same check via
+// cmd/hopplint; having it here keeps `go test ./...` sufficient.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped under -short")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(pkgs); len(diags) > 0 {
+		t.Errorf("module has %d lint finding(s):\n%s", len(diags), render(diags))
+	}
+}

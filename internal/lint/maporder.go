@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body emits ordered output —
+// appending to a slice, writing to an io.Writer, or calling
+// fmt.Fprint*/fmt.Print* — because Go randomizes map iteration order,
+// so such loops produce different bytes on identical inputs. Sites that
+// sort the collected result afterwards (or are otherwise
+// order-insensitive) carry an explicit //hopplint:sorted waiver on the
+// range statement so every exception is auditable.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that produces ordered output without a //hopplint:sorted waiver",
+	Run:  runMapOrder,
+}
+
+// writerMethods are the io.Writer-family methods whose call inside a
+// map-range body means bytes leave in iteration order.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func runMapOrder(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if mapType(p.Info.TypeOf(rs.X)) == nil {
+				return true
+			}
+			if _, waived := p.waiver(rs.Pos(), "sorted"); waived {
+				return true
+			}
+			if hazard := orderedOutputHazard(p, rs.Body); hazard != "" {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(rs.Pos()),
+					Analyzer: "maporder",
+					Message:  "range over map " + hazard + "; iteration order is randomized — sort the keys first or waive with //hopplint:sorted",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// mapType reports the map type being ranged over, seeing through type
+// parameters: a range over `M` with constraint `~map[K]V` iterates a
+// map at every instantiation, so generic helpers get the same scrutiny
+// as concrete ones. Returns nil when t is not (always) a map.
+func mapType(t types.Type) *types.Map {
+	if t == nil {
+		return nil
+	}
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		m, _ := t.Underlying().(*types.Map)
+		return m
+	}
+	iface, _ := tp.Constraint().Underlying().(*types.Interface)
+	if iface == nil || iface.NumEmbeddeds() == 0 {
+		return nil
+	}
+	var m *types.Map
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch emb := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < emb.Len(); j++ {
+				mm, ok := emb.Term(j).Type().Underlying().(*types.Map)
+				if !ok {
+					return nil
+				}
+				m = mm
+			}
+		default:
+			mm, ok := emb.Underlying().(*types.Map)
+			if !ok {
+				return nil
+			}
+			m = mm
+		}
+	}
+	return m
+}
+
+// orderedOutputHazard scans a map-range body for the constructs that
+// turn random iteration order into nondeterministic output, returning a
+// description of the first hazard or "".
+func orderedOutputHazard(p *Package, body *ast.BlockStmt) string {
+	hazard := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if b, ok := p.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+				hazard = "appends to a slice"
+			}
+		case *ast.SelectorExpr:
+			if pkg, ok := importedPackage(p, fun.X); ok && pkg == "fmt" {
+				name := fun.Sel.Name
+				if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") {
+					hazard = "formats output via fmt." + name
+				}
+				return true
+			}
+			// A method call: writer-shaped names on a receiver that
+			// actually satisfies io.Writer.
+			if writerMethods[fun.Sel.Name] && p.Info.Selections[fun] != nil {
+				recv := p.Info.Selections[fun].Recv()
+				if implementsWriter(recv) {
+					hazard = "writes to an io.Writer via " + fun.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// writerIface is io.Writer built from first principles so the check
+// works without importing io into the analyzed package.
+var writerIface = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(0, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(0, nil, "n", types.Typ[types.Int]),
+		types.NewVar(0, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	fn := types.NewFunc(0, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{fn}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if types.Implements(t, writerIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), writerIface)
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterm forbids nondeterministic inputs inside the deterministic
+// packages: wall-clock reads, the process-global math/rand source, and
+// environment reads. Seeded generators (rand.New(rand.NewSource(seed)))
+// are the sanctioned randomness and stay allowed.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall clocks, global rand, and env reads in deterministic packages",
+	Run:  runNoDeterm,
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// seeded state instead of consuming the global source.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// timeForbidden are the wall-clock reads; monotonic or not, both tie
+// simulation output to the host's clock.
+var timeForbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// osEnvReads pull configuration from the process environment, which is
+// invisible to the (workload, system, frac, seed) cache key.
+var osEnvReads = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+}
+
+func runNoDeterm(p *Package) []Diagnostic {
+	if !DeterministicPackages[p.Name] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := importedPackage(p, sel.X)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "time":
+				if timeForbidden[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      p.Fset.Position(sel.Pos()),
+						Analyzer: "nodeterm",
+						Message:  "time." + name + " reads the wall clock; deterministic packages must derive time from the virtual clock",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if randAllowed[name] {
+					return true
+				}
+				// Only package-level functions consume the global
+				// source; types (rand.Rand, rand.Source) are fine.
+				if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				msg := "rand." + name + " uses the process-global source; use a seeded rand.New(rand.NewSource(seed))"
+				if name == "Seed" {
+					msg = "rand.Seed mutates the process-global source shared across goroutines; use rand.New(rand.NewSource(seed))"
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(sel.Pos()),
+					Analyzer: "nodeterm",
+					Message:  msg,
+				})
+			case "os":
+				if osEnvReads[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      p.Fset.Position(sel.Pos()),
+						Analyzer: "nodeterm",
+						Message:  "os." + name + " reads the environment; deterministic packages take configuration through parameters",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// importedPackage resolves x to the import path of the package it
+// names, if x is an identifier bound to an import (not a local variable
+// that happens to shadow one).
+func importedPackage(p *Package, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,22 @@
+// Package core (fixture) breaks both context rules: contexts after
+// other parameters, and a context stored in deterministic-package
+// state.
+package core
+
+import "context"
+
+// Engine stores a context in a struct inside a deterministic package.
+type Engine struct {
+	name string
+	ctx  context.Context
+}
+
+// Run takes its context second.
+func Run(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Sweep hides the misplaced context in a function literal.
+func Sweep() func(int, context.Context) {
+	return func(n int, ctx context.Context) {}
+}

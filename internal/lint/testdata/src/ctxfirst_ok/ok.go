@@ -1,0 +1,18 @@
+// Package core (fixture) follows the context rules: ctx first, never
+// stored.
+package core
+
+import "context"
+
+// Engine keeps no context in its state.
+type Engine struct {
+	name string
+}
+
+// Run threads its context as the first parameter.
+func Run(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// Plain functions without contexts are untouched.
+func Plain(a, b int) int { return a + b }

@@ -1,0 +1,23 @@
+// Package service (fixture) drops errors on the floor: plain discards,
+// a double-blank discard, and a waiver with no reason.
+package service
+
+import (
+	"io"
+	"strconv"
+)
+
+// Flush discards a plain error return.
+func Flush(c io.Closer) {
+	_ = c.Close()
+}
+
+// Parse discards a (value, error) pair wholesale.
+func Parse(s string) {
+	_, _ = strconv.Atoi(s)
+}
+
+// Lazy waives without saying why — still a finding.
+func Lazy(c io.Closer) {
+	_ = c.Close() //hopplint:errok
+}

@@ -1,0 +1,29 @@
+// Package service (fixture) handles or audibly waives every error.
+package service
+
+import (
+	"io"
+	"strconv"
+)
+
+// Close propagates the error.
+func Close(c io.Closer) error {
+	return c.Close()
+}
+
+// Best-effort discard with a stated reason is accepted.
+func Cleanup(c io.Closer) {
+	_ = c.Close() //hopplint:errok best-effort teardown, nothing to report to
+}
+
+// Keeping the value while discarding the error is outside this
+// analyzer's shape (the value is used, the intent is visible).
+func Numeric(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// Discarding a non-error return is fine.
+func Length(s string) {
+	_ = len(s)
+}

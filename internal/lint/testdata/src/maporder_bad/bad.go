@@ -1,0 +1,44 @@
+// Package experiments (fixture) emits ordered output from map ranges —
+// every loop here produces different bytes run to run.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Keys collects map keys in iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Render formats rows in iteration order.
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Dump writes to a buffer in iteration order.
+func Dump(m map[string]bool) string {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+// GenericKeys ranges a type parameter constrained to maps; the analyzer
+// sees through the constraint.
+func GenericKeys[M ~map[string]V, V any](m M) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package experiments (fixture) ranges maps only in order-insensitive
+// ways, or under an audited //hopplint:sorted waiver.
+package experiments
+
+import "sort"
+
+// SortedKeys collects then sorts — the append is waived because the
+// sort erases iteration order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //hopplint:sorted
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total folds a map commutatively; no ordered output, no waiver needed.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes only into another map; insertion order is irrelevant.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package sim (fixture) violates every nodeterm rule: wall-clock reads,
+// the global math/rand source, rand.Seed, and environment reads inside
+// a deterministic package.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() int64 {
+	start := time.Now()
+	return int64(time.Since(start))
+}
+
+// Roll consumes the process-global rand source.
+func Roll() int {
+	rand.Seed(42)
+	return rand.Intn(6) + int(rand.Int63()%3)
+}
+
+// Tuned reads configuration from the environment.
+func Tuned() string {
+	if v, ok := os.LookupEnv("HOPP_TUNE"); ok {
+		return v
+	}
+	return os.Getenv("HOPP_DEFAULT")
+}

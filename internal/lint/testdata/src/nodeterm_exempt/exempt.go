@@ -1,0 +1,22 @@
+// Package service (fixture) sits outside the deterministic set, so
+// wall clocks and environment reads are its business.
+package service
+
+import (
+	"os"
+	"time"
+)
+
+// Uptime is allowed to read the wall clock: the service layer owns
+// wall time.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Addr is allowed to read the environment.
+func Addr() string {
+	return os.Getenv("HOPPD_ADDR")
+}
+
+// Now is allowed here.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,19 @@
+// Package sim (fixture) stays clean: seeded generators are the
+// sanctioned randomness, rand types in signatures are fine, and the
+// same calls are unrestricted outside the deterministic set (see the
+// service fixture below in this package's tests).
+package sim
+
+import "math/rand"
+
+// Jitter derives randomness from an explicit seed.
+func Jitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Draw takes a caller-owned generator; *rand.Rand in a signature is a
+// type reference, not a use of the global source.
+func Draw(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

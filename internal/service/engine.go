@@ -206,8 +206,7 @@ func NewEngine(opts Options) *Engine {
 		runs:       make(map[string]*run),
 		runSim:     runSimulation,
 		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
-			opts.Ctx = ctx
-			return exp.Run(opts)
+			return exp.Run(ctx, opts)
 		},
 	}
 	e.expSem = make(chan struct{}, e.pool.Workers())
@@ -570,6 +569,45 @@ func (e *Engine) RunExperiment(ctx context.Context, id string, seed int64, quick
 	return err
 }
 
+// Retry-After hint bounds: never tell a client to come back sooner
+// than a second (sub-second retries are the hot-loop the hint exists to
+// prevent) or later than a minute (past that the estimate says more
+// about a backlog spike than about when a slot frees up).
+const (
+	retryAfterFloor = time.Second
+	retryAfterCeil  = time.Minute
+)
+
+// RetryAfterHint estimates when an overloaded client should retry:
+// the observed mean run wall time times the runs queued per worker —
+// an estimate of the time to drain the current backlog — clamped to
+// [retryAfterFloor, retryAfterCeil]. Before any run has completed
+// there is no observation, and the hint is the floor.
+func (e *Engine) RetryAfterHint() time.Duration {
+	hint := retryAfterFloor
+	if completed := e.ctr.runsCompleted.Load(); completed > 0 {
+		mean := time.Duration(uint64(e.ctr.runWallNS.Load()) / completed)
+		workers := e.pool.Workers()
+		if workers < 1 {
+			workers = 1
+		}
+		// +1: the rejected submission itself also needs a slot.
+		if est := mean * time.Duration(e.pool.QueueDepth()+1) / time.Duration(workers); est > hint {
+			hint = est
+		}
+	}
+	if hint > retryAfterCeil {
+		hint = retryAfterCeil
+	}
+	return hint
+}
+
+// RetryAfterSeconds renders the hint in whole seconds, rounded up —
+// the granularity the Retry-After header speaks.
+func (e *Engine) RetryAfterSeconds() int {
+	return int((e.RetryAfterHint() + time.Second - 1) / time.Second)
+}
+
 // Metrics snapshots the runtime counters and gauges.
 func (e *Engine) Metrics() MetricsSnapshot {
 	s := e.ctr.snapshot()
@@ -577,6 +615,7 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	s.ActiveRuns = e.pool.Active()
 	s.Workers = e.pool.Workers()
 	s.QueueLimit = e.pool.MaxQueue()
+	s.RetryAfterHintNS = int64(e.RetryAfterHint())
 	s.CacheSize = e.cache.Len()
 	s.RetainRuns = e.retain
 	s.RunTimeoutNS = int64(e.runTimeout)
@@ -613,4 +652,6 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 }
 
 // Close is Shutdown with no deadline: full drain.
-func (e *Engine) Close() { _ = e.Shutdown(context.Background()) }
+func (e *Engine) Close() {
+	_ = e.Shutdown(context.Background()) //hopplint:errok Background ctx never expires, so Shutdown cannot fail
+}

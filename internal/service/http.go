@@ -45,7 +45,9 @@ func NewHandler(e *Engine) http.Handler {
 			if errors.Is(err, ErrOverloaded) {
 				// The queue is at its bound; tell well-behaved clients
 				// when to come back instead of letting them hot-loop.
-				w.Header().Set("Retry-After", "1")
+				// The hint tracks observed drain time, so backoff grows
+				// with the actual backlog.
+				w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
 			}
 			writeError(w, errStatus(err), err)
 			return
@@ -148,7 +150,7 @@ func errStatus(err error) int {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //hopplint:errok headers are already committed; a mid-body write error has no channel back to the client
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

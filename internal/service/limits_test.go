@@ -268,6 +268,83 @@ func TestSustainedLoadStaysBounded(t *testing.T) {
 	}
 }
 
+// The Retry-After hint must adapt: floor before any observation, mean
+// wall time once runs complete, scaled by backlog per worker, capped at
+// a minute. Counters are seeded directly so the arithmetic is exact.
+func TestRetryAfterHintAdaptsToLoad(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, MaxQueue: 8})
+	if got := e.RetryAfterHint(); got != time.Second {
+		t.Fatalf("hint with no completed runs = %v, want the 1s floor", got)
+	}
+
+	// Mean wall time 2s, empty queue, 1 worker: hint is one mean run.
+	e.ctr.runsCompleted.Store(4)
+	e.ctr.runWallNS.Store((8 * time.Second).Nanoseconds())
+	if got := e.RetryAfterHint(); got != 2*time.Second {
+		t.Fatalf("hint with mean 2s and empty queue = %v, want 2s", got)
+	}
+	if got := e.RetryAfterSeconds(); got != 2 {
+		t.Fatalf("RetryAfterSeconds = %d, want 2", got)
+	}
+
+	// Fast runs (mean 1ms) must not produce a sub-second hint.
+	e.ctr.runsCompleted.Store(1000)
+	e.ctr.runWallNS.Store(time.Second.Nanoseconds())
+	if got := e.RetryAfterHint(); got != time.Second {
+		t.Fatalf("hint with mean 1ms = %v, want clamped to the 1s floor", got)
+	}
+
+	// A pathological mean is capped so clients never park for hours.
+	e.ctr.runsCompleted.Store(1)
+	e.ctr.runWallNS.Store((3 * time.Hour).Nanoseconds())
+	if got := e.RetryAfterHint(); got != time.Minute {
+		t.Fatalf("hint with mean 3h = %v, want the 60s cap", got)
+	}
+
+	// The snapshot carries the same value scrapers see.
+	e.ctr.runsCompleted.Store(2)
+	e.ctr.runWallNS.Store((6 * time.Second).Nanoseconds())
+	if got := e.Metrics().RetryAfterHintNS; got != (3 * time.Second).Nanoseconds() {
+		t.Fatalf("metrics retry_after_hint_ns = %d, want %d", got, (3 * time.Second).Nanoseconds())
+	}
+}
+
+// The hint must grow with queue depth: each queued run adds one mean
+// wall time per worker to the estimated drain time.
+func TestRetryAfterHintScalesWithQueueDepth(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, MaxQueue: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.runSim = func(ctx context.Context, req RunRequest) (sim.Metrics, error) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return sim.Metrics{System: "test"}, nil
+		case <-ctx.Done():
+			return sim.Metrics{}, ctx.Err()
+		}
+	}
+	defer close(release)
+	// One run occupies the worker, then four fill the queue.
+	if _, err := e.Submit(seedReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 4; i++ {
+		if _, err := e.Submit(seedReq(int64(i + 2))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.QueueDepth == 4 })
+	e.ctr.runsCompleted.Store(1)
+	e.ctr.runWallNS.Store((2 * time.Second).Nanoseconds())
+	// mean 2s × (4 queued + 1 incoming) / 1 worker.
+	if got := e.RetryAfterHint(); got != 10*time.Second {
+		t.Fatalf("hint with mean 2s and depth 4 = %v, want 10s", got)
+	}
+}
+
 // HTTP surface of admission control: over-limit submissions get 429 with
 // a Retry-After header.
 func TestHTTP429OnOverload(t *testing.T) {
@@ -292,6 +369,10 @@ func TestHTTP429OnOverload(t *testing.T) {
 	if _, code := postRun(t, srv.URL, seedReq(2)); code != http.StatusAccepted {
 		t.Fatalf("queue-filling submit = %d, want 202", code)
 	}
+	// Seed the wall-time counters so the adaptive header has a known
+	// value: mean 5s × (1 queued + 1 incoming) / 1 worker = 10s.
+	e.ctr.runsCompleted.Store(1)
+	e.ctr.runWallNS.Store((5 * time.Second).Nanoseconds())
 	b, _ := json.Marshal(seedReq(3))
 	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(b))
 	if err != nil {
@@ -301,8 +382,8 @@ func TestHTTP429OnOverload(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-limit submit = %d, want 429", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("429 response missing Retry-After header")
+	if ra := resp.Header.Get("Retry-After"); ra != "10" {
+		t.Fatalf("429 Retry-After = %q, want %q (adaptive hint)", ra, "10")
 	}
 }
 

@@ -58,8 +58,13 @@ type MetricsSnapshot struct {
 	// scraper can alert on depth/limit ratio without knowing the flags.
 	QueueLimit   int   `json:"queue_limit"`
 	RunTimeoutNS int64 `json:"run_timeout_ns"`
-	ActiveRuns   int   `json:"active_runs"`
-	Workers      int   `json:"workers"`
+	// RetryAfterHintNS is the adaptive backoff hint 429 responses carry
+	// in Retry-After (mean run wall time × queued runs per worker,
+	// clamped to [1s, 60s]) — exported so operators can see what
+	// rejected clients are being told.
+	RetryAfterHintNS int64 `json:"retry_after_hint_ns"`
+	ActiveRuns       int   `json:"active_runs"`
+	Workers          int   `json:"workers"`
 
 	// CatalogWorkloads/CatalogSystems size the request space servable by
 	// this build — useful when fleet rollouts mix catalog versions.

@@ -83,6 +83,7 @@ type Base struct {
 	li        int
 	loop      int
 	footprint int
+	total     int
 }
 
 // NewBase assembles a generator. think is charged per line access; loops
@@ -93,15 +94,20 @@ func NewBase(name string, regions []Region, think vclock.Duration, loops int, bu
 		loops = 1
 	}
 	b := &Base{name: name, regions: regions, think: think, loops: loops, build: build}
-	// Precompute the footprint from a canonical seed-0 build so
-	// FootprintPages is a plain read: a generator shared across
-	// goroutines (e.g. for footprint sizing while another runs it) must
-	// not race on a lazily written field.
+	// Precompute the footprint and the total access count from a
+	// canonical seed-0 build so both are plain reads: a generator shared
+	// across goroutines (e.g. for footprint sizing while another runs
+	// it) must not race on lazily written fields. The visit *structure*
+	// of every in-repo program is seed-independent (seeds only permute
+	// which pages irregular steps touch), so the canonical counts hold
+	// for every run seed.
 	visits := b.build(rand.New(rand.NewSource(0)))
 	seen := make(map[memsim.VPN]struct{}, len(visits))
 	for _, v := range visits {
 		seen[v.vpn] = struct{}{}
+		b.total += int(v.lines)
 	}
+	b.total *= b.loops
 	b.footprint = len(seen)
 	return b
 }
@@ -168,17 +174,12 @@ func (b *Base) Next() (Access, bool) {
 	return Access{Addr: addr, Write: v.write, Think: b.think}, true
 }
 
-// TotalAccesses returns the exact access count of a full run (all loops).
-func (b *Base) TotalAccesses() int {
-	if b.visits == nil {
-		b.Reset(0)
-	}
-	n := 0
-	for _, v := range b.visits {
-		n += int(v.lines)
-	}
-	return n * b.loops
-}
+// TotalAccesses returns the exact access count of a full run (all
+// loops). Like FootprintPages it comes from the canonical seed-0 build
+// done once in NewBase — an immutable field, safe to read while another
+// goroutine drives the generator (the lazy Reset(0) that used to live
+// here raced in exactly that scenario).
+func (b *Base) TotalAccesses() int { return b.total }
 
 // interleave round-robins several page programs into one, modeling
 // concurrently advancing streams within one process.

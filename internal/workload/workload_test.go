@@ -323,3 +323,50 @@ func TestFootprintPagesConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TotalAccesses had the same shape of bug as FootprintPages: an
+// unprimed generator lazily called Reset(0) from the accessor, racing
+// with a concurrent reader or runner. The count is now precomputed in
+// NewBase; this must stay clean under `go test -race` with readers
+// hitting an unprimed generator while another goroutine Resets and
+// drives it.
+func TestTotalAccessesConcurrentReaders(t *testing.T) {
+	g := NewRipple(256, 2) // rng-built program: the old lazy Reset wrote b.visits
+	want := g.TotalAccesses()
+	if want <= 0 {
+		t.Fatalf("TotalAccesses = %d, want > 0", want)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // a runner priming and draining the generator
+		defer wg.Done()
+		g.Reset(7)
+		for {
+			if _, ok := g.Next(); !ok {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := g.TotalAccesses(); got != want {
+				t.Errorf("concurrent TotalAccesses = %d, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	// The canonical count matches what a full run actually produces.
+	g.Reset(0)
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("full run produced %d accesses, TotalAccesses says %d", n, want)
+	}
+}

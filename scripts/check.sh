@@ -20,8 +20,15 @@ if shadow_tool=$(command -v shadow 2>/dev/null); then
     echo "== go vet -vettool=shadow ./..."
     go vet -vettool="$shadow_tool" ./...
 else
-    echo "== shadow analyzer not installed; skipping (copylocks gated above)"
+    echo "WARN: shadow analyzer not installed; shadow check skipped (copylocks gated above)"
 fi
+
+# hopplint is a hard gate: the repo's determinism invariants (no wall
+# clock / unseeded rand / env reads in deterministic packages, no
+# unsorted map ranges on output paths, ctx-first signatures, no silently
+# dropped errors) are enforced, not aspirational.
+echo "== hopplint ./..."
+go run ./cmd/hopplint ./...
 
 echo "== go test -race (service + sim + workload, quick mode)"
 go test -race -count=1 ./internal/service/... ./internal/sim/... ./internal/workload/...
