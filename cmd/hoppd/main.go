@@ -8,18 +8,22 @@
 //	hoppd -addr :8080
 //	curl -XPOST localhost:8080/v1/runs -d '{"workload":"npb-mg","system":"hopp","frac":0.5,"seed":1}'
 //	curl localhost:8080/v1/runs/r000001
-//	curl -XPOST 'localhost:8080/v1/experiments/fig9?quick=true'
+//	curl -XPOST 'localhost:8080/v1/experiments/fig9/runs?quick=true'   # job form: poll /v1/runs/{id}
+//	curl -XPOST 'localhost:8080/v1/experiments/fig9?quick=true'        # legacy streaming form
 //	curl localhost:8080/metrics
 //
-// The daemon is built to run indefinitely under load: the run registry
-// retains a bounded window of finished runs (-retain-runs/-retain-age,
-// evicted IDs answer 404), submissions beyond -max-queue are shed with
-// 429 + Retry-After, each run is capped by -run-timeout, and the HTTP
-// server bounds header/read/idle time so slow clients cannot pin
-// connections.
+// Every submission — a workload × system simulation or an experiment
+// regeneration — is one Job in a single shared lifecycle. The daemon is
+// built to run indefinitely under any mix of the two: the job registry
+// retains a bounded window of finished jobs (-retain-runs/-retain-age,
+// evicted IDs answer 404; with -journal they are appended to an
+// append-only JSONL audit trail on the way out), submissions beyond
+// -max-queue are shed with 429 + Retry-After, each job is capped by
+// -run-timeout, and the HTTP server bounds header/read/idle time so
+// slow clients cannot pin connections.
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes, then
-// queued and in-flight runs drain (up to -drain-timeout) before exit.
+// queued and in-flight jobs drain (up to -drain-timeout) before exit.
 package main
 
 import (
@@ -52,10 +56,11 @@ func run() error {
 
 		// Resource limits: what keeps the daemon bounded under the
 		// sustained traffic it exists to serve.
-		maxQueue   = flag.Int("max-queue", 256, "max queued runs before submissions get 429 (0 = unbounded)")
-		retainRuns = flag.Int("retain-runs", service.DefaultRetainRuns, "finished runs kept queryable before eviction (404 afterwards)")
-		retainAge  = flag.Duration("retain-age", time.Hour, "evict finished runs older than this (0 = no age bound)")
-		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-run wall-clock deadline; timed-out runs fail (0 = none)")
+		maxQueue   = flag.Int("max-queue", 256, "max queued jobs before submissions get 429 (0 = unbounded)")
+		retainRuns = flag.Int("retain-runs", service.DefaultRetainRuns, "finished jobs kept queryable before eviction (404 afterwards)")
+		retainAge  = flag.Duration("retain-age", time.Hour, "evict finished jobs older than this (0 = no age bound)")
+		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-job wall-clock deadline; timed-out jobs fail (0 = none)")
+		journal    = flag.String("journal", "", "append evicted terminal jobs to this JSONL file (empty = no journal)")
 
 		// HTTP server timeouts: without these an idle or trickling
 		// client (slowloris) pins a connection forever.
@@ -69,6 +74,20 @@ func run() error {
 		os.Exit(2)
 	}
 
+	var jnl *service.Journal
+	if *journal != "" {
+		j, err := service.OpenJournal(*journal)
+		if err != nil {
+			return fmt.Errorf("opening -journal: %w", err)
+		}
+		jnl = j
+		defer func() {
+			if err := jnl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hoppd: closing journal:", err)
+			}
+		}()
+	}
+
 	engine := service.NewEngine(service.Options{
 		Workers:      *workers,
 		CacheEntries: *cache,
@@ -76,6 +95,7 @@ func run() error {
 		RetainRuns:   *retainRuns,
 		RetainAge:    *retainAge,
 		RunTimeout:   *runTimeout,
+		Journal:      jnl,
 	})
 	// No WriteTimeout: /v1/experiments/{id} streams output for as long
 	// as the (context-cancellable) experiment runs; a write deadline

@@ -220,19 +220,29 @@ func (e *UnknownExperimentError) Error() string {
 }
 
 // Simulation-as-a-service types, re-exported from internal/service.
-// An Engine is the long-lived substrate behind cmd/hoppd: submissions
-// queue into a bounded worker pool, results land in an LRU cache keyed
-// by the canonicalized request, and runtime counters stay observable.
+// An Engine is the long-lived substrate behind cmd/hoppd: every
+// submission — a workload × system simulation or an experiment
+// regeneration — is one Job in a shared lifecycle, queued into a
+// bounded worker pool, cached in an LRU keyed by the canonicalized
+// request, and accounted per kind in the runtime counters.
 type (
-	// Engine serves simulations: Submit, Status, Wait, Cancel,
-	// RunExperiment, Metrics, Shutdown.
+	// Engine serves jobs: Submit, SubmitExperiment, Status, Wait,
+	// Cancel, RunExperiment, Metrics, Shutdown.
 	Engine = service.Engine
-	// EngineOptions sizes the engine's pool and cache.
+	// EngineOptions sizes the engine's pool, cache, and retention.
 	EngineOptions = service.Options
 	// RunRequest is one workload × system submission.
 	RunRequest = service.RunRequest
-	// RunStatus is a run's externally visible snapshot.
+	// ServiceExperimentRequest is one experiment-regeneration submission.
+	ServiceExperimentRequest = service.ExperimentRequest
+	// RunStatus is a job's externally visible snapshot.
 	RunStatus = service.RunStatus
+	// JobKind tags a job "sim" or "experiment".
+	JobKind = service.JobKind
+	// JobState is a job's lifecycle state.
+	JobState = service.JobState
+	// JobCounters are one kind's lifecycle counters in EngineMetrics.
+	JobCounters = service.JobCounters
 	// EngineMetrics is the /metrics counter snapshot.
 	EngineMetrics = service.MetricsSnapshot
 )

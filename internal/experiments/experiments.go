@@ -24,6 +24,20 @@ type Options struct {
 	Seed int64
 	// Quick shrinks workloads ~4x for benches and CI.
 	Quick bool
+	// Progress, when non-nil, is invoked once after each simulation an
+	// experiment completes (the runOne/compareAll choke points every
+	// experiment drives its machines through). It is an observability
+	// seam for the service layer's job lifecycle — callbacks receive no
+	// data and must not influence results, so determinism is untouched:
+	// equal (Seed, Quick) still yield equal tables with or without it.
+	Progress func()
+}
+
+// tick reports one completed simulation unit to the Progress seam.
+func (o Options) tick() {
+	if o.Progress != nil {
+		o.Progress()
+	}
 }
 
 // Table is one printable result table.
@@ -173,12 +187,20 @@ func (o Options) simConfig(frac float64) sim.Config {
 
 // compareAll runs one workload under several systems plus local.
 func (o Options) compareAll(ctx context.Context, gen workload.Generator, frac float64, systems ...sim.System) (sim.Comparison, error) {
-	return sim.CompareWithContext(ctx, o.simConfig(frac), gen, systems...)
+	cmp, err := sim.CompareWithContext(ctx, o.simConfig(frac), gen, systems...)
+	if err == nil {
+		o.tick()
+	}
+	return cmp, err
 }
 
 // runOne runs one workload under one system.
 func (o Options) runOne(ctx context.Context, sys sim.System, gen workload.Generator, frac float64) (sim.Metrics, error) {
-	return sim.RunWithContext(ctx, o.simConfig(frac), sys, gen)
+	met, err := sim.RunWithContext(ctx, o.simConfig(frac), sys, gen)
+	if err == nil {
+		o.tick()
+	}
+	return met, err
 }
 
 // sortedKeys returns map keys in stable order.

@@ -330,3 +330,37 @@ func TestRemainingExperimentsRun(t *testing.T) {
 		}
 	}
 }
+
+// The Progress seam must observe every completed simulation without
+// perturbing results: equal (Seed, Quick) yield byte-equal tables with
+// and without a callback installed.
+func TestProgressSeamIsObservationalOnly(t *testing.T) {
+	e, ok := ByID("fig1") // fig1 simulates through compareAll, the seam's choke point
+	if !ok {
+		t.Fatal("fig1 missing")
+	}
+	render := func(tables []Table) string {
+		var buf bytes.Buffer
+		for _, tab := range tables {
+			tab.Fprint(&buf)
+		}
+		return buf.String()
+	}
+	plain, err := e.Run(context.Background(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int
+	o := quick()
+	o.Progress = func() { ticks++ }
+	observed, err := e.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Fatal("Progress callback never invoked")
+	}
+	if render(plain) != render(observed) {
+		t.Fatal("installing a Progress callback changed the rendered tables")
+	}
+}

@@ -140,3 +140,112 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("module has %d lint finding(s):\n%s", len(diags), render(diags))
 	}
 }
+
+// writeModule materializes a synthetic module on disk for loader tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadAllPaths runs LoadAll on a fresh loader and returns the package
+// paths in returned order plus the rendered findings.
+func loadAllPaths(t *testing.T, root string) ([]string, string) {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		paths[i] = p.Path
+	}
+	return paths, render(Check(pkgs))
+}
+
+// The parallel loader must be invisible in the output: repeated LoadAll
+// runs over a module with a dependency chain, a diamond, and unrelated
+// leaves return packages in the same sorted order with byte-identical
+// findings (the golden-order contract the bounded worker pool must not
+// break).
+func TestLoadAllParallelDeterministic(t *testing.T) {
+	files := map[string]string{
+		"go.mod":    "module fixture.test/m\n\ngo 1.22\n",
+		"a/a.go":    "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go":    "package b\n\nimport \"fixture.test/m/a\"\n\nfunc B() int { return a.A() + 1 }\n",
+		"c/c.go":    "package c\n\nimport (\n\t\"fixture.test/m/a\"\n\t\"fixture.test/m/b\"\n)\n\nfunc C() int { return a.A() + b.B() }\n",
+		"d/d.go":    "package d\n\nfunc D() error { return nil }\n\nfunc Drop() {\n\t_ = D()\n}\n",
+		"e/e.go":    "package e\n\nfunc E() error { return nil }\n\nfunc Drop() {\n\t_ = E()\n}\n",
+		"solo/s.go": "package solo\n\nfunc S() int { return 9 }\n",
+	}
+	root := writeModule(t, files)
+	wantPaths := []string{
+		"fixture.test/m/a", "fixture.test/m/b", "fixture.test/m/c",
+		"fixture.test/m/d", "fixture.test/m/e", "fixture.test/m/solo",
+	}
+	firstPaths, firstFindings := loadAllPaths(t, root)
+	if strings.Join(firstPaths, " ") != strings.Join(wantPaths, " ") {
+		t.Fatalf("LoadAll order = %v, want %v", firstPaths, wantPaths)
+	}
+	// The errdrop fixtures in d and e must both surface, in file order.
+	if !strings.Contains(firstFindings, "d.go") || !strings.Contains(firstFindings, "e.go") {
+		t.Fatalf("expected errdrop findings from d and e, got:\n%s", firstFindings)
+	}
+	for i := 0; i < 3; i++ {
+		paths, findings := loadAllPaths(t, root)
+		if strings.Join(paths, " ") != strings.Join(firstPaths, " ") {
+			t.Fatalf("run %d: package order diverged: %v vs %v", i, paths, firstPaths)
+		}
+		if findings != firstFindings {
+			t.Fatalf("run %d: findings diverged:\n--- first\n%s--- now\n%s", i, firstFindings, findings)
+		}
+	}
+}
+
+// An import cycle must fail LoadAll deterministically instead of
+// deadlocking the topological schedule.
+func TestLoadAllDetectsImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture.test/cyc\n\ngo 1.22\n",
+		"x/x.go": "package x\n\nimport \"fixture.test/cyc/y\"\n\nfunc X() int { return y.Y() }\n",
+		"y/y.go": "package y\n\nimport \"fixture.test/cyc/x\"\n\nfunc Y() int { return x.X() }\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadAll(); err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("LoadAll over a cycle = %v, want import-cycle error", err)
+	}
+}
+
+// A package that fails to type-check must surface its own error, not a
+// confusing cascade from the packages that import it.
+func TestLoadAllReportsRootFailureFirst(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module fixture.test/bad\n\ngo 1.22\n",
+		"broken/b.go": "package broken\n\nfunc B() int { return undefinedSymbol }\n",
+		"user/u.go":   "package user\n\nimport \"fixture.test/bad/broken\"\n\nfunc U() int { return broken.B() }\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadAll()
+	if err == nil || !strings.Contains(err.Error(), "type-checking fixture.test/bad/broken") {
+		t.Fatalf("LoadAll = %v, want the broken package's own type error", err)
+	}
+}

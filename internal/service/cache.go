@@ -5,10 +5,13 @@ import (
 	"sync"
 )
 
-// lruCache is a fixed-capacity LRU over serialized results. Values are
-// immutable byte slices: the engine stores each run's serialized Metrics
-// exactly once and hands the same bytes to every later hit, which is how
-// cache hits stay byte-identical to the run that populated them.
+// lruCache is a fixed-capacity LRU over serialized results, shared by
+// both job kinds (sim keys "run|…", experiment keys "exp|…" — disjoint
+// by prefix). Values are immutable byte slices: the engine stores each
+// job's serialized result exactly once and hands the same bytes to
+// every later hit, which is how cache hits stay byte-identical to the
+// job that populated them. Only completed jobs ever Put — a rejected or
+// failed submission leaves no cache entry.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
@@ -19,8 +22,8 @@ type lruCache struct {
 type cacheEntry struct {
 	key string
 	val []byte
-	// simNS is the simulated completion time carried alongside the
-	// serialized run metrics, so cache hits report SimNS without
+	// simNS is the simulated completion time carried alongside a sim
+	// job's serialized metrics, so cache hits report SimNS without
 	// re-parsing the JSON blob on every hit. Experiment entries leave
 	// it zero.
 	simNS int64

@@ -10,9 +10,13 @@ import (
 )
 
 // The catalog is the canonical name → constructor registry shared by the
-// daemon and the CLIs (cmd/hoppsim resolves through it too). Workloads
-// are built at the standard evaluation scale; quick shrinks footprints
-// ~4x the same way experiments.Options.Quick does, with the same floor.
+// daemon and the CLIs (cmd/hoppsim resolves through it too). Together
+// with experiments.All it spans the whole request space a sim or
+// experiment job can name; RunRequest.Normalize and
+// ExperimentRequest.Normalize validate against it before admission, so
+// nothing unresolvable ever reaches the queue. Workloads are built at
+// the standard evaluation scale; quick shrinks footprints ~4x the same
+// way experiments.Options.Quick does, with the same floor.
 
 // quickScale shrinks a page count for quick-mode runs.
 func quickScale(n int, quick bool) int {

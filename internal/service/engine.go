@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 	"time"
 
 	"hopp/internal/experiments"
@@ -28,30 +27,13 @@ var (
 	// its configured bound. The HTTP layer maps it to 429 + Retry-After;
 	// the submission leaves no registry entry behind.
 	ErrOverloaded = errors.New("service: engine overloaded, retry later")
-	// ErrRunTimeout marks a run that exceeded the per-run deadline; such
-	// runs land in StateFailed with this error in their message.
+	// ErrRunTimeout marks a job that exceeded the per-run deadline; such
+	// jobs land in StateFailed with this error in their message.
 	ErrRunTimeout = errors.New("service: run timeout exceeded")
 )
 
-// RunState is a run's lifecycle position.
-type RunState string
-
-// Run lifecycle: Queued → Running → one of Done/Failed/Cancelled.
-// Cache hits are born Done.
-const (
-	StateQueued    RunState = "queued"
-	StateRunning   RunState = "running"
-	StateDone      RunState = "done"
-	StateFailed    RunState = "failed"
-	StateCancelled RunState = "cancelled"
-)
-
-// Terminal reports whether the state is final.
-func (s RunState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
-
-// RunRequest is one workload × system simulation submission.
+// RunRequest is one workload × system simulation submission — the
+// payload of a KindSim job.
 type RunRequest struct {
 	// Workload names a catalog workload (see WorkloadNames).
 	Workload string `json:"workload"`
@@ -91,96 +73,120 @@ func (r RunRequest) Normalize() (RunRequest, string, error) {
 	return n, key, nil
 }
 
-// RunStatus is the externally visible snapshot of one run.
+// ExperimentRequest is one table/figure regeneration submission — the
+// payload of a KindExperiment job.
+type ExperimentRequest struct {
+	// Experiment names a regenerable table/figure (see Experiments).
+	Experiment string `json:"experiment"`
+	// Seed drives all randomness of the experiment's simulations.
+	Seed int64 `json:"seed"`
+	// Quick shrinks workloads ~4x.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Normalize validates the request against the experiment index and
+// returns the canonical form and its cache key. The key format predates
+// the unified lifecycle, so caches warmed by the legacy streaming
+// endpoint keep hitting.
+func (r ExperimentRequest) Normalize() (ExperimentRequest, string, error) {
+	n := r
+	n.Experiment = strings.ToLower(strings.TrimSpace(n.Experiment))
+	if _, ok := experiments.ByID(n.Experiment); !ok {
+		return n, "", fmt.Errorf("%w %q", ErrUnknownExperiment, r.Experiment)
+	}
+	key := fmt.Sprintf("exp|%s|%d|%t", n.Experiment, n.Seed, n.Quick)
+	return n, key, nil
+}
+
+// RunStatus is the externally visible snapshot of one job. Sim jobs
+// carry workload/system/frac and (when done) the serialized Metrics;
+// experiment jobs carry the experiment ID, a progress gauge, and (when
+// done) the rendered table text.
 type RunStatus struct {
-	ID       string   `json:"id"`
-	State    RunState `json:"state"`
-	Workload string   `json:"workload"`
-	System   string   `json:"system"`
-	Frac     float64  `json:"frac"`
-	Seed     int64    `json:"seed"`
-	Quick    bool     `json:"quick,omitempty"`
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+
+	// Sim-job fields.
+	Workload string   `json:"workload,omitempty"`
+	System   string   `json:"system,omitempty"`
+	Frac     *float64 `json:"frac,omitempty"`
+
+	// Experiment is the experiment ID of a KindExperiment job.
+	Experiment string `json:"experiment,omitempty"`
+	// Progress counts the simulations the experiment has completed so
+	// far — the seam experiments.Options.Progress feeds. Zero for sim
+	// jobs (one job is one simulation).
+	Progress int64 `json:"progress,omitempty"`
+
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick,omitempty"`
 	// Cached marks a submission served from the result cache.
 	Cached bool   `json:"cached"`
 	Error  string `json:"error,omitempty"`
-	// WallNS is the wall-clock time the run held a worker; SimNS the
-	// simulated completion time it produced.
+	// WallNS is the wall-clock time the job held a worker; SimNS the
+	// simulated completion time a sim job produced.
 	WallNS int64 `json:"wall_ns,omitempty"`
 	SimNS  int64 `json:"sim_ns,omitempty"`
-	// Metrics is the serialized sim.Metrics, present once State is done.
+	// Metrics is the serialized sim.Metrics, present once a sim job is
+	// done.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Output is the rendered table text, present once an experiment job
+	// is done.
+	Output string `json:"output,omitempty"`
 }
 
-// run is the internal registry record.
-type run struct {
-	id        string
-	key       string
-	req       RunRequest // normalized
-	state     RunState
-	cached    bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time // terminal-transition time, drives age eviction
-	wallNS    int64
-	simNS     int64
-	result    []byte
-	errMsg    string
-	cancel    context.CancelFunc
-	done      chan struct{}
-}
-
-// DefaultRetainRuns is the terminal-run retention bound applied when
+// DefaultRetainRuns is the terminal-job retention bound applied when
 // Options.RetainRuns is unset.
 const DefaultRetainRuns = 1024
 
 // Options configures an Engine.
 type Options struct {
-	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
 	Workers int
 	// CacheEntries bounds the LRU result cache; <= 0 means 256.
 	CacheEntries int
-	// MaxQueue bounds runs queued behind busy workers; submissions over
+	// MaxQueue bounds jobs queued behind busy workers; submissions over
 	// the limit fail fast with ErrOverloaded. <= 0 means unbounded.
 	MaxQueue int
-	// RetainRuns bounds terminal (done/failed/cancelled) runs kept in
+	// RetainRuns bounds terminal (done/failed/cancelled) jobs kept in
 	// the registry: once exceeded the oldest-finished are evicted and
 	// later lookups of their IDs return ErrUnknownRun (HTTP 404).
 	// <= 0 means DefaultRetainRuns.
 	RetainRuns int
-	// RetainAge additionally evicts terminal runs older than this even
+	// RetainAge additionally evicts terminal jobs older than this even
 	// while under the count bound. <= 0 disables age-based eviction.
 	RetainAge time.Duration
-	// RunTimeout caps each executing run's wall time so a pathological
-	// request cannot pin a worker; timed-out runs land in StateFailed
+	// RunTimeout caps each executing job's wall time so a pathological
+	// request cannot pin a worker; timed-out jobs land in StateFailed
 	// with ErrRunTimeout. <= 0 disables the deadline.
 	RunTimeout time.Duration
+	// Journal, when non-nil, receives a JSONL entry for every terminal
+	// job the registry evicts — the audit trail past -retain-runs.
+	Journal *Journal
 }
 
-// Engine is the long-lived simulation service: a FIFO worker pool fed by
-// Submit, a bounded registry of recent runs, an LRU cache of serialized
-// results, and runtime counters. One Engine outlives any number of
-// requests; the daemon owns exactly one. Every resource the engine holds
-// per submission — registry entry, queue slot, worker — is bounded, so
-// the process stays O(configuration) no matter how long it serves.
+// Engine is the long-lived simulation service: a FIFO worker pool fed
+// by Submit and SubmitExperiment, a bounded registry of recent jobs, an
+// LRU cache of serialized results, and runtime counters. One Engine
+// outlives any number of requests; the daemon owns exactly one. Every
+// unit of offered work — a workload × system simulation or a
+// table/figure regeneration — is a Job flowing through the same
+// admission control, queue, per-run deadline, retention policy, and
+// per-kind metrics, so the process stays O(configuration) no matter how
+// long or what mix it serves.
 type Engine struct {
-	pool   *Pool
-	cache  *lruCache
-	ctr    counters
-	expSem chan struct{}
+	pool  *Pool
+	cache *lruCache
+	ctr   *counters
+	reg   *registry
 
-	retain     int
-	retainAge  time.Duration
 	runTimeout time.Duration
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	runs   map[string]*run
-	order  []string // submission order; may hold evicted IDs until compaction
-	term   []string // terminal runs, oldest-finished first (eviction order)
-	nextID int
-	closed bool
+	closed bool // guarded by reg.mu
 
 	// Hooks, replaceable in tests to decouple lifecycle tests from
 	// simulation wall time.
@@ -191,25 +197,19 @@ type Engine struct {
 // NewEngine starts an engine; callers must Shutdown (or Close) it.
 func NewEngine(opts Options) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
-	retain := opts.RetainRuns
-	if retain <= 0 {
-		retain = DefaultRetainRuns
-	}
 	e := &Engine{
 		pool:       NewPoolWithQueue(opts.Workers, opts.MaxQueue),
 		cache:      newLRUCache(opts.CacheEntries),
-		retain:     retain,
-		retainAge:  opts.RetainAge,
+		ctr:        newCounters(),
+		reg:        newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal),
 		runTimeout: opts.RunTimeout,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		runs:       make(map[string]*run),
 		runSim:     runSimulation,
 		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
 			return exp.Run(ctx, opts)
 		},
 	}
-	e.expSem = make(chan struct{}, e.pool.Workers())
 	return e
 }
 
@@ -234,268 +234,281 @@ func runSimulation(ctx context.Context, req RunRequest) (sim.Metrics, error) {
 	return sim.RunWithContext(ctx, cfg, sys, gen)
 }
 
-// Submit validates, canonicalizes, and enqueues a run, returning its
-// registry snapshot immediately. A result already in the cache comes
-// back as a run born done with Cached set; everything else is queued
-// FIFO behind earlier submissions. When the pending queue is at its
-// bound the submission is rejected with ErrOverloaded and leaves no
-// registry entry — callers retry, they don't pile up.
+// Submit validates, canonicalizes, and enqueues a simulation job,
+// returning its registry snapshot immediately. A result already in the
+// cache comes back as a job born done with Cached set; everything else
+// is queued FIFO behind earlier submissions of either kind. When the
+// pending queue is at its bound the submission is rejected with
+// ErrOverloaded and leaves no registry entry — callers retry, they
+// don't pile up.
 func (e *Engine) Submit(req RunRequest) (RunStatus, error) {
 	norm, key, err := req.Normalize()
 	if err != nil {
 		return RunStatus{}, err
 	}
+	return e.submitJob(&Job{Kind: KindSim, key: key, Sim: &norm})
+}
 
+// SubmitExperiment validates and enqueues an experiment-regeneration
+// job through the same admission control, queue, deadline, and
+// retention as Submit. The returned status carries the job ID to poll
+// via Status/Wait (HTTP: GET /v1/runs/{id}).
+func (e *Engine) SubmitExperiment(req ExperimentRequest) (RunStatus, error) {
+	norm, key, err := req.Normalize()
+	if err != nil {
+		return RunStatus{}, err
+	}
+	return e.submitJob(&Job{Kind: KindExperiment, key: key, Exp: &norm})
+}
+
+// submitJob is the single admission path every kind flows through:
+// cache lookup, queue-bound check, ID assignment, registry entry. The
+// ordering is load-bearing — admission control runs before the job gets
+// an ID or a registry slot, so a rejected submission of either kind
+// consumes nothing (no registry entry, no cache pollution).
+func (e *Engine) submitJob(j *Job) (RunStatus, error) {
 	now := time.Now()
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
 	if e.closed {
 		return RunStatus{}, ErrClosed
 	}
-	e.evictLocked(now) // age out stale terminal runs even on idle→burst
+	e.reg.evictLocked(now) // age out stale terminal jobs even on idle→burst
 
 	// The cache is consulted only with the canonical key computed by
-	// Normalize, and only bytes produced by a completed identical run
+	// Normalize, and only bytes produced by a completed identical job
 	// ever land under that key.
-	cached, cachedSimNS, hit := e.cache.Get(key)
-	r := &run{
-		key:       key,
-		req:       norm,
-		submitted: now,
-		done:      make(chan struct{}),
-	}
+	cached, cachedSimNS, hit := e.cache.Get(j.key)
+	j.submitted = now
+	j.done = make(chan struct{})
 	if hit {
-		r.state = StateDone
-		r.cached = true
-		r.result = cached
-		r.simNS = cachedSimNS
-		close(r.done)
+		j.State = StateDone
+		j.cached = true
+		j.Result = cached
+		j.simNS = cachedSimNS
+		close(j.done)
 		e.ctr.cacheHits.Add(1)
 	} else {
-		// Admission control before the run gets an ID or a registry
-		// slot: a rejected submission must not consume anything. Lock
-		// order is e.mu → pool.mu, taken nowhere in reverse.
-		r.state = StateQueued
-		if err := e.pool.Submit(func() { e.execute(r) }); err != nil {
+		// Lock order is reg.mu → pool.mu, taken nowhere in reverse.
+		j.State = StateQueued
+		if err := e.pool.Submit(func() { e.execute(j) }); err != nil {
 			if errors.Is(err, ErrQueueFull) {
-				e.ctr.runsRejected.Add(1)
+				e.ctr.kind(j.Kind).rejected.Add(1)
 				return RunStatus{}, fmt.Errorf("%w (queue depth at bound %d)", ErrOverloaded, e.pool.MaxQueue())
 			}
 			return RunStatus{}, ErrClosed // pool closed: raced Shutdown
 		}
 		e.ctr.cacheMisses.Add(1)
 	}
-	e.ctr.runsSubmitted.Add(1)
-	e.nextID++
-	r.id = fmt.Sprintf("r%06d", e.nextID)
-	e.runs[r.id] = r
-	e.order = append(e.order, r.id)
+	e.ctr.kind(j.Kind).submitted.Add(1)
+	e.reg.addLocked(j)
 	if hit {
-		e.markTerminalLocked(r, now)
+		e.reg.markTerminalLocked(j, now)
 	}
-	return e.statusLocked(r), nil
+	return e.statusLocked(j), nil
 }
 
-// markTerminalLocked records a run's transition into a terminal state
-// and evicts the oldest terminal runs past the retention bounds; e.mu
-// must be held. Every path that finishes a run goes through here, which
-// is what keeps the registry O(retention + in-flight) instead of
-// O(total submissions).
-func (e *Engine) markTerminalLocked(r *run, now time.Time) {
-	r.finished = now
-	e.term = append(e.term, r.id)
-	e.evictLocked(now)
-}
-
-// evictLocked drops terminal runs beyond the retention count or older
-// than the retention age; e.mu must be held. e.term is ordered by finish
-// time, so eviction only ever pops from its front. The submission-order
-// slice is compacted lazily once evicted IDs dominate it, keeping both
-// structures bounded without an O(n) scan per eviction.
-func (e *Engine) evictLocked(now time.Time) {
-	n := 0
-	for n < len(e.term) {
-		id := e.term[n]
-		overCount := len(e.term)-n > e.retain
-		overAge := e.retainAge > 0 && now.Sub(e.runs[id].finished) > e.retainAge
-		if !overCount && !overAge {
-			break
-		}
-		delete(e.runs, id)
-		n++
-	}
-	if n == 0 {
+// execute runs one queued job on a pool worker.
+func (e *Engine) execute(j *Job) {
+	e.reg.mu.Lock()
+	if j.State != StateQueued { // cancelled while queued
+		e.reg.mu.Unlock()
 		return
 	}
-	e.term = e.term[n:]
-	e.ctr.registryEvictions.Add(uint64(n))
-	if len(e.order) > 2*len(e.runs) {
-		kept := make([]string, 0, len(e.runs))
-		for _, id := range e.order {
-			if _, ok := e.runs[id]; ok {
-				kept = append(kept, id)
-			}
-		}
-		e.order = kept
-	}
-}
-
-// execute runs one queued run on a pool worker.
-func (e *Engine) execute(r *run) {
-	e.mu.Lock()
-	if r.state != StateQueued { // cancelled while queued
-		e.mu.Unlock()
-		return
-	}
-	r.state = StateRunning
-	r.started = time.Now()
+	j.State = StateRunning
+	j.started = time.Now()
 	// The per-run deadline nests inside the engine's base context, so a
-	// run ends for exactly one of three reasons: its own deadline
+	// job ends for exactly one of three reasons: its own deadline
 	// (DeadlineExceeded), a caller's Cancel or engine shutdown
-	// (Canceled), or the simulation finishing.
+	// (Canceled), or the work finishing.
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if e.runTimeout > 0 {
-		ctx, cancel = context.WithTimeout(e.baseCtx, e.runTimeout)
+		j.Deadline = j.started.Add(e.runTimeout)
+		ctx, cancel = context.WithDeadline(e.baseCtx, j.Deadline)
 	} else {
 		ctx, cancel = context.WithCancel(e.baseCtx)
 	}
-	r.cancel = cancel
-	e.mu.Unlock()
+	j.cancel = cancel
+	e.reg.mu.Unlock()
 	defer cancel()
-	e.ctr.runsStarted.Add(1)
+	e.ctr.kind(j.Kind).started.Add(1)
 
-	met, err := e.runSim(ctx, r.req)
-	wall := time.Since(r.started).Nanoseconds()
+	result, simNS, err := e.executeKind(ctx, j)
+	wall := time.Since(j.started).Nanoseconds()
 
-	var result []byte
-	if err == nil {
+	e.reg.mu.Lock()
+	j.wallNS = wall
+	kc := e.ctr.kind(j.Kind)
+	switch {
+	case err == nil:
+		j.State = StateDone
+		j.Result = result
+		j.simNS = simNS
+		e.cache.Put(j.key, result, simNS)
+		kc.completed.Add(1)
+		e.ctr.runWallNS.Add(wall)
+		e.ctr.runSimulatedNS.Add(simNS)
+	case e.runTimeout > 0 && errors.Is(err, context.DeadlineExceeded):
+		j.State = StateFailed
+		j.errMsg = fmt.Sprintf("%v (exceeded %v)", ErrRunTimeout, e.runTimeout)
+		kc.timedOut.Add(1)
+		kc.failed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.State = StateCancelled
+		j.errMsg = err.Error()
+		kc.cancelled.Add(1)
+	default:
+		j.State = StateFailed
+		j.errMsg = err.Error()
+		kc.failed.Add(1)
+	}
+	e.reg.markTerminalLocked(j, time.Now())
+	close(j.done)
+	e.reg.mu.Unlock()
+}
+
+// executeKind dispatches a running job to its kind's work function and
+// serializes the result: marshaled sim.Metrics for sim jobs, rendered
+// table text for experiment jobs. Both serializations are deterministic
+// (fixed struct order / fixed table order), which is what lets the
+// shared cache hand the same bytes to every later hit.
+func (e *Engine) executeKind(ctx context.Context, j *Job) ([]byte, int64, error) {
+	switch j.Kind {
+	case KindSim:
+		met, err := e.runSim(ctx, *j.Sim)
+		if err != nil {
+			return nil, 0, err
+		}
 		// json.Marshal is deterministic (struct order fixed, map keys
 		// sorted), so equal runs serialize to equal bytes — the property
 		// the cache and the determinism tests rely on.
-		result, err = json.Marshal(met)
-	}
-
-	e.mu.Lock()
-	r.wallNS = wall
-	switch {
-	case err == nil:
-		r.state = StateDone
-		r.result = result
-		r.simNS = int64(met.CompletionTime)
-		e.cache.Put(r.key, result, r.simNS)
-		e.ctr.runsCompleted.Add(1)
-		e.ctr.runWallNS.Add(wall)
-		e.ctr.runSimulatedNS.Add(r.simNS)
-	case e.runTimeout > 0 && errors.Is(err, context.DeadlineExceeded):
-		r.state = StateFailed
-		r.errMsg = fmt.Sprintf("%v (exceeded %v)", ErrRunTimeout, e.runTimeout)
-		e.ctr.runsTimedOut.Add(1)
-		e.ctr.runsFailed.Add(1)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		r.state = StateCancelled
-		r.errMsg = err.Error()
-		e.ctr.runsCancelled.Add(1)
+		result, err := json.Marshal(met)
+		return result, int64(met.CompletionTime), err
+	case KindExperiment:
+		exp, ok := experiments.ByID(j.Exp.Experiment)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w %q", ErrUnknownExperiment, j.Exp.Experiment)
+		}
+		opts := experiments.Options{
+			Seed:     j.Exp.Seed,
+			Quick:    j.Exp.Quick,
+			Progress: func() { j.progress.Add(1) },
+		}
+		tables, err := e.runExp(ctx, exp, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		var buf bytes.Buffer
+		for _, t := range tables {
+			t.Fprint(&buf)
+		}
+		return buf.Bytes(), 0, nil
 	default:
-		r.state = StateFailed
-		r.errMsg = err.Error()
-		e.ctr.runsFailed.Add(1)
+		return nil, 0, fmt.Errorf("service: unknown job kind %q", j.Kind)
 	}
-	e.markTerminalLocked(r, time.Now())
-	close(r.done)
-	e.mu.Unlock()
 }
 
-// statusLocked snapshots a run; e.mu must be held.
-func (e *Engine) statusLocked(r *run) RunStatus {
+// statusLocked snapshots a job; reg.mu must be held.
+func (e *Engine) statusLocked(j *Job) RunStatus {
 	s := RunStatus{
-		ID:       r.id,
-		State:    r.state,
-		Workload: r.req.Workload,
-		System:   r.req.System,
-		Frac:     *r.req.Frac,
-		Seed:     r.req.Seed,
-		Quick:    r.req.Quick,
-		Cached:   r.cached,
-		Error:    r.errMsg,
-		WallNS:   r.wallNS,
-		SimNS:    r.simNS,
+		ID:     j.ID,
+		Kind:   j.Kind,
+		State:  j.State,
+		Cached: j.cached,
+		Error:  j.errMsg,
+		WallNS: j.wallNS,
+		SimNS:  j.simNS,
 	}
-	if r.state == StateDone {
-		s.Metrics = r.result
+	switch {
+	case j.Sim != nil:
+		s.Workload = j.Sim.Workload
+		s.System = j.Sim.System
+		s.Frac = j.Sim.Frac
+		s.Seed = j.Sim.Seed
+		s.Quick = j.Sim.Quick
+	case j.Exp != nil:
+		s.Experiment = j.Exp.Experiment
+		s.Seed = j.Exp.Seed
+		s.Quick = j.Exp.Quick
+		s.Progress = j.progress.Load()
+	}
+	if j.State == StateDone {
+		switch j.Kind {
+		case KindSim:
+			s.Metrics = j.Result
+		case KindExperiment:
+			s.Output = string(j.Result)
+		}
 	}
 	return s
 }
 
-// Status returns one run's snapshot.
+// Status returns one job's snapshot.
 func (e *Engine) Status(id string) (RunStatus, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	r, ok := e.runs[id]
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	j, ok := e.reg.getLocked(id)
 	if !ok {
 		return RunStatus{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
 	}
-	return e.statusLocked(r), nil
+	return e.statusLocked(j), nil
 }
 
-// Runs lists every retained run in submission order. Evicted terminal
-// runs no longer appear; under sustained load the list plateaus at the
-// retention bound plus whatever is queued or running.
+// Runs lists every retained job — sim and experiment — in submission
+// order. Evicted terminal jobs no longer appear; under sustained load
+// the list plateaus at the retention bound plus whatever is queued or
+// running.
 func (e *Engine) Runs() []RunStatus {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]RunStatus, 0, len(e.runs))
-	for _, id := range e.order {
-		if r, ok := e.runs[id]; ok {
-			out = append(out, e.statusLocked(r))
-		}
-	}
-	return out
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	return e.reg.listLocked(e.statusLocked)
 }
 
-// Wait blocks until the run reaches a terminal state or ctx is done.
+// Wait blocks until the job reaches a terminal state or ctx is done.
 func (e *Engine) Wait(ctx context.Context, id string) (RunStatus, error) {
-	e.mu.Lock()
-	r, ok := e.runs[id]
-	e.mu.Unlock()
+	e.reg.mu.Lock()
+	j, ok := e.reg.getLocked(id)
+	e.reg.mu.Unlock()
 	if !ok {
 		return RunStatus{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
 	}
 	select {
-	case <-r.done:
+	case <-j.done:
 		return e.Status(id)
 	case <-ctx.Done():
 		return RunStatus{}, ctx.Err()
 	}
 }
 
-// Cancel aborts a queued or running run. Queued runs finish cancelled
-// without ever starting; running runs see their context cancelled and
-// unwind at the simulator's next poll.
+// Cancel aborts a queued or running job of either kind. Queued jobs
+// finish cancelled without ever starting; running jobs see their
+// context cancelled and unwind at the next poll (sim loop or the
+// experiment's next simulation).
 func (e *Engine) Cancel(id string) error {
-	e.mu.Lock()
-	r, ok := e.runs[id]
+	e.reg.mu.Lock()
+	j, ok := e.reg.getLocked(id)
 	if !ok {
-		e.mu.Unlock()
+		e.reg.mu.Unlock()
 		return fmt.Errorf("%w %q", ErrUnknownRun, id)
 	}
-	switch r.state {
+	switch j.State {
 	case StateQueued:
-		r.state = StateCancelled
-		r.errMsg = context.Canceled.Error()
-		e.markTerminalLocked(r, time.Now())
-		close(r.done)
-		e.mu.Unlock()
-		e.ctr.runsCancelled.Add(1)
+		j.State = StateCancelled
+		j.errMsg = context.Canceled.Error()
+		e.reg.markTerminalLocked(j, time.Now())
+		close(j.done)
+		e.reg.mu.Unlock()
+		e.ctr.kind(j.Kind).cancelled.Add(1)
 		return nil
 	case StateRunning:
-		cancel := r.cancel
-		e.mu.Unlock()
+		cancel := j.cancel
+		e.reg.mu.Unlock()
 		cancel()
 		return nil
 	default:
-		e.mu.Unlock()
-		return fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, r.state)
+		e.reg.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, j.State)
 	}
 }
 
@@ -525,47 +538,28 @@ func ExperimentByID(id string) (ExperimentInfo, bool) {
 }
 
 // RunExperiment regenerates one table/figure, writing the rendered text
-// to w. Results are cached by (experiment, seed, quick); concurrency is
-// bounded by the worker count; ctx cancels both the wait for a slot and
-// the simulations themselves.
+// to w. It is a thin wrapper over the unified job lifecycle — the
+// legacy streaming surface of SubmitExperiment: the submission flows
+// through the same queue bound (ErrOverloaded when full), deadline, and
+// retention as every other job, and the rendered bytes are identical to
+// what GET /v1/runs/{id} reports as Output. ctx cancels the job when
+// the caller walks away mid-wait.
 func (e *Engine) RunExperiment(ctx context.Context, id string, seed int64, quick bool, w io.Writer) error {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	exp, ok := experiments.ByID(id)
-	if !ok {
-		return fmt.Errorf("%w %q", ErrUnknownExperiment, id)
-	}
-	key := fmt.Sprintf("exp|%s|%d|%t", exp.ID, seed, quick)
-	if b, _, hit := e.cache.Get(key); hit {
-		e.ctr.cacheHits.Add(1)
-		_, err := w.Write(b)
-		return err
-	}
-	e.ctr.cacheMisses.Add(1)
-
-	select {
-	case e.expSem <- struct{}{}:
-		defer func() { <-e.expSem }()
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	e.ctr.expStarted.Add(1)
-	tables, err := e.runExp(ctx, exp, experiments.Options{Seed: seed, Quick: quick})
+	st, err := e.SubmitExperiment(ExperimentRequest{Experiment: id, Seed: seed, Quick: quick})
 	if err != nil {
-		e.ctr.expFailed.Add(1)
 		return err
 	}
-	var buf bytes.Buffer
-	for _, t := range tables {
-		t.Fprint(&buf)
+	final, err := e.Wait(ctx, st.ID)
+	if err != nil {
+		// The caller walked away; the job must not keep holding a
+		// worker on their behalf.
+		_ = e.Cancel(st.ID) //hopplint:errok the job may have finished (ErrNotCancellable) or been evicted between Wait and Cancel; either way there is nothing left to stop
+		return err
 	}
-	e.cache.Put(key, buf.Bytes(), 0)
-	e.ctr.expCompleted.Add(1)
-	_, err = w.Write(buf.Bytes())
+	if final.State != StateDone {
+		return fmt.Errorf("service: experiment job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	_, err = w.Write([]byte(final.Output))
 	return err
 }
 
@@ -579,13 +573,14 @@ const (
 )
 
 // RetryAfterHint estimates when an overloaded client should retry:
-// the observed mean run wall time times the runs queued per worker —
-// an estimate of the time to drain the current backlog — clamped to
-// [retryAfterFloor, retryAfterCeil]. Before any run has completed
+// the observed mean job wall time (across both kinds — they share the
+// queue being drained) times the jobs queued per worker — an estimate
+// of the time to drain the current backlog — clamped to
+// [retryAfterFloor, retryAfterCeil]. Before any job has completed
 // there is no observation, and the hint is the floor.
 func (e *Engine) RetryAfterHint() time.Duration {
 	hint := retryAfterFloor
-	if completed := e.ctr.runsCompleted.Load(); completed > 0 {
+	if completed := e.ctr.completedTotal(); completed > 0 {
 		mean := time.Duration(uint64(e.ctr.runWallNS.Load()) / completed)
 		workers := e.pool.Workers()
 		if workers < 1 {
@@ -612,29 +607,32 @@ func (e *Engine) RetryAfterSeconds() int {
 func (e *Engine) Metrics() MetricsSnapshot {
 	s := e.ctr.snapshot()
 	s.QueueDepth = e.pool.QueueDepth()
-	s.ActiveRuns = e.pool.Active()
+	s.ActiveJobs = e.pool.Active()
 	s.Workers = e.pool.Workers()
 	s.QueueLimit = e.pool.MaxQueue()
 	s.RetryAfterHintNS = int64(e.RetryAfterHint())
 	s.CacheSize = e.cache.Len()
-	s.RetainRuns = e.retain
+	s.RetainRuns = e.reg.retain
 	s.RunTimeoutNS = int64(e.runTimeout)
 	s.CatalogWorkloads = NumWorkloads()
 	s.CatalogSystems = NumSystems()
-	e.mu.Lock()
-	s.RegistrySize = len(e.runs)
-	e.mu.Unlock()
+	s.RegistryEvictions = e.reg.evictions.Load()
+	s.JournalWrites = e.reg.jwrites.Load()
+	s.JournalErrors = e.reg.jerrors.Load()
+	e.reg.mu.Lock()
+	s.RegistrySize = e.reg.sizeLocked()
+	e.reg.mu.Unlock()
 	return s
 }
 
 // Shutdown stops accepting work and drains the pool: queued and running
-// runs complete normally. If ctx expires first, in-flight simulations
-// are cancelled and Shutdown waits for them to unwind before returning
+// jobs complete normally. If ctx expires first, in-flight work is
+// cancelled and Shutdown waits for it to unwind before returning
 // ctx.Err().
 func (e *Engine) Shutdown(ctx context.Context) error {
-	e.mu.Lock()
+	e.reg.mu.Lock()
 	e.closed = true
-	e.mu.Unlock()
+	e.reg.mu.Unlock()
 
 	drained := make(chan struct{})
 	go func() {

@@ -97,7 +97,8 @@ func TestSubmitWaitFetch(t *testing.T) {
 		t.Fatalf("missing timing: sim=%d wall=%d", final.SimNS, final.WallNS)
 	}
 	m := e.Metrics()
-	if m.RunsSubmitted != 1 || m.RunsCompleted != 1 || m.CacheMisses != 1 {
+	sim := m.Jobs[KindSim]
+	if sim.Submitted != 1 || sim.Completed != 1 || m.CacheMisses != 1 {
 		t.Fatalf("counters off: %+v", m)
 	}
 }
@@ -131,8 +132,8 @@ func TestRepeatedRequestIsCacheHit(t *testing.T) {
 	if m.CacheHits != 1 || m.CacheMisses != 1 {
 		t.Fatalf("cache counters = hits %d misses %d, want 1/1", m.CacheHits, m.CacheMisses)
 	}
-	if m.RunsStarted != 1 {
-		t.Fatalf("cache hit started a worker: runs_started = %d", m.RunsStarted)
+	if got := m.Jobs[KindSim].Started; got != 1 {
+		t.Fatalf("cache hit started a worker: jobs started = %d", got)
 	}
 }
 
@@ -213,8 +214,8 @@ func TestCancelQueuedRun(t *testing.T) {
 	if st := waitDone(t, e, first.ID); st.State != StateDone {
 		t.Fatalf("first run state = %s, want done", st.State)
 	}
-	if got := e.Metrics().RunsCancelled; got != 1 {
-		t.Fatalf("runs_cancelled = %d, want 1", got)
+	if got := e.Metrics().Jobs[KindSim].Cancelled; got != 1 {
+		t.Fatalf("sim jobs cancelled = %d, want 1", got)
 	}
 }
 

@@ -10,19 +10,27 @@ import (
 
 // NewHandler builds the daemon's HTTP API over one engine:
 //
-//	POST   /v1/runs              submit a workload × system simulation
-//	                             (429 + Retry-After when the queue is full)
-//	GET    /v1/runs              list retained runs in submission order
-//	GET    /v1/runs/{id}         one run's status + Metrics JSON
-//	                             (404 once retention has evicted the run)
-//	DELETE /v1/runs/{id}         cancel a queued or running run
-//	GET    /v1/experiments       list regenerable tables/figures
-//	POST   /v1/experiments/{id}  regenerate one (text/plain, streamed)
-//	GET    /healthz              liveness
-//	GET    /metrics              runtime counters
+//	POST   /v1/runs                   submit a workload × system simulation
+//	                                  (429 + Retry-After when the queue is full)
+//	GET    /v1/runs                   list retained jobs (sim + experiment)
+//	                                  in submission order
+//	GET    /v1/runs/{id}              one job's status: Metrics JSON for sim
+//	                                  jobs, rendered Output for experiment jobs
+//	                                  (404 once retention has evicted the job)
+//	DELETE /v1/runs/{id}              cancel a queued or running job
+//	GET    /v1/experiments            list regenerable tables/figures
+//	POST   /v1/experiments/{id}/runs  submit an experiment job; poll it via
+//	                                  GET /v1/runs/{id} like any other job
+//	POST   /v1/experiments/{id}       legacy streaming form: submits the same
+//	                                  job and streams its rendered text
+//	GET    /healthz                   liveness
+//	GET    /metrics                   per-kind jobs_* counters + gauges
 //
-// The handler is cmd/hoppd's entire surface; it lives here so httptest
-// exercises exactly what the daemon serves.
+// Sim and experiment submissions are instances of one Job lifecycle:
+// both flow through the shared queue bound, per-run deadline, registry
+// retention, and /metrics accounting. The handler is cmd/hoppd's entire
+// surface; it lives here so httptest exercises exactly what the daemon
+// serves.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
@@ -41,22 +49,7 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		status, err := e.Submit(req)
-		if err != nil {
-			if errors.Is(err, ErrOverloaded) {
-				// The queue is at its bound; tell well-behaved clients
-				// when to come back instead of letting them hot-loop.
-				// The hint tracks observed drain time, so backoff grows
-				// with the actual backlog.
-				w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
-			}
-			writeError(w, errStatus(err), err)
-			return
-		}
-		code := http.StatusAccepted
-		if status.State.Terminal() {
-			code = http.StatusOK
-		}
-		writeJSON(w, code, status)
+		writeSubmitResult(w, e, status, err)
 	})
 
 	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -90,28 +83,33 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"experiments": Experiments()})
 	})
 
+	// The job form of experiment regeneration: submit, get an ID, poll
+	// GET /v1/runs/{id} — the exact lifecycle sim runs have, including
+	// 429 under -max-queue and 404 after retention.
+	mux.HandleFunc("POST /v1/experiments/{id}/runs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := experimentRequest(w, r)
+		if !ok {
+			return
+		}
+		status, err := e.SubmitExperiment(req)
+		writeSubmitResult(w, e, status, err)
+	})
+
+	// Legacy streaming form: a thin wrapper that submits the same job
+	// and streams its rendered result. The bytes are identical to the
+	// job's Output; the admission control is identical too, so an
+	// overloaded engine answers 429 here as well.
 	mux.HandleFunc("POST /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
-		seed := int64(1)
-		if s := r.URL.Query().Get("seed"); s != "" {
-			v, err := strconv.ParseInt(s, 10, 64)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", s))
-				return
-			}
-			seed = v
+		req, ok := experimentRequest(w, r)
+		if !ok {
+			return
 		}
-		quick := false
-		if q := r.URL.Query().Get("quick"); q != "" {
-			v, err := strconv.ParseBool(q)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad quick %q", q))
-				return
+		st, err := e.SubmitExperiment(req)
+		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
 			}
-			quick = v
-		}
-		id := r.PathValue("id")
-		if _, ok := ExperimentByID(id); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownExperiment, id))
+			writeError(w, errStatus(err), err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -119,14 +117,69 @@ func NewHandler(e *Engine) http.Handler {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush() // commit headers so the client sees the stream open
 		}
-		// The request context cancels the experiment when the client
+		// The request context cancels the job when the client
 		// disconnects; the error (if any) lands on the open text stream.
-		if err := e.RunExperiment(r.Context(), id, seed, quick, w); err != nil {
+		final, err := e.Wait(r.Context(), st.ID)
+		if err != nil {
+			_ = e.Cancel(st.ID) //hopplint:errok the job may already be terminal or evicted; nothing left to stop either way
 			fmt.Fprintf(w, "error: %v\n", err)
+			return
 		}
+		if final.State != StateDone {
+			fmt.Fprintf(w, "error: experiment job %s %s: %s\n", final.ID, final.State, final.Error)
+			return
+		}
+		_, _ = w.Write([]byte(final.Output)) //hopplint:errok headers are already committed; a mid-body write error has no channel back to the client
 	})
 
 	return mux
+}
+
+// experimentRequest parses the {id} path element and seed/quick query
+// parameters shared by both experiment routes. On a malformed value it
+// writes a 400 and reports !ok.
+func experimentRequest(w http.ResponseWriter, r *http.Request) (ExperimentRequest, bool) {
+	req := ExperimentRequest{Experiment: r.PathValue("id"), Seed: 1}
+	if s := r.URL.Query().Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", s))
+			return ExperimentRequest{}, false
+		}
+		req.Seed = v
+	}
+	if q := r.URL.Query().Get("quick"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad quick %q", q))
+			return ExperimentRequest{}, false
+		}
+		req.Quick = v
+	}
+	return req, true
+}
+
+// writeSubmitResult renders a Submit/SubmitExperiment outcome: 202 for
+// an admitted job, 200 for one born done from the cache, 429 +
+// Retry-After when admission control sheds it, and the mapped error
+// status otherwise.
+func writeSubmitResult(w http.ResponseWriter, e *Engine, status RunStatus, err error) {
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// The queue is at its bound; tell well-behaved clients when
+			// to come back instead of letting them hot-loop. The hint
+			// tracks observed drain time, so backoff grows with the
+			// actual backlog.
+			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
+		}
+		writeError(w, errStatus(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if status.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, status)
 }
 
 // errStatus maps engine errors to HTTP status codes.

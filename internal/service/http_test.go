@@ -129,11 +129,12 @@ func TestHTTPCacheHitPathMovesCounters(t *testing.T) {
 	if after.CacheHits != before.CacheHits+1 {
 		t.Fatalf("cache_hits %d → %d, want +1", before.CacheHits, after.CacheHits)
 	}
-	if after.RunsStarted != before.RunsStarted {
+	if after.Jobs[KindSim].Started != before.Jobs[KindSim].Started {
 		t.Fatal("cache hit dispatched a worker run")
 	}
-	if after.RunsSubmitted != before.RunsSubmitted+1 {
-		t.Fatalf("runs_submitted %d → %d, want +1", before.RunsSubmitted, after.RunsSubmitted)
+	if after.Jobs[KindSim].Submitted != before.Jobs[KindSim].Submitted+1 {
+		t.Fatalf("sim jobs submitted %d → %d, want +1",
+			before.Jobs[KindSim].Submitted, after.Jobs[KindSim].Submitted)
 	}
 }
 
@@ -340,10 +341,12 @@ func TestHTTPExperimentClientDisconnectCancels(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("disconnect did not cancel the experiment")
 	}
+	// The abandoned job must land terminal as a cancelled experiment job
+	// in the unified per-kind counters.
 	deadline := time.Now().Add(10 * time.Second)
-	for e.Metrics().ExperimentsFailed == 0 {
+	for e.Metrics().Jobs[KindExperiment].Cancelled == 0 {
 		if time.Now().After(deadline) {
-			t.Fatal("experiments_failed never incremented")
+			t.Fatalf("experiment job never counted cancelled; metrics: %+v", e.Metrics())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

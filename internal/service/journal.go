@@ -1,0 +1,158 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalEntry is one line of the append-only run journal: the terminal
+// snapshot of a job at the moment retention evicted it from the
+// registry. The registry is a bounded window (evicted IDs answer 404);
+// the journal is the unbounded-on-disk audit trail behind that window.
+// Result bytes are deliberately absent — the journal records what ran
+// and how it ended, not the payloads, so a year of traffic stays
+// greppable.
+type JournalEntry struct {
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+
+	// Sim-job fields.
+	Workload string   `json:"workload,omitempty"`
+	System   string   `json:"system,omitempty"`
+	Frac     *float64 `json:"frac,omitempty"`
+
+	// Experiment-job field.
+	Experiment string `json:"experiment,omitempty"`
+
+	Seed   int64  `json:"seed"`
+	Quick  bool   `json:"quick,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+	SimNS  int64  `json:"sim_ns,omitempty"`
+
+	SubmittedUnixNS int64 `json:"submitted_unix_ns"`
+	FinishedUnixNS  int64 `json:"finished_unix_ns"`
+}
+
+// journalEntry snapshots a terminal job for the journal; the caller
+// holds the registry mutex.
+func journalEntry(j *Job) JournalEntry {
+	e := JournalEntry{
+		ID:              j.ID,
+		Kind:            j.Kind,
+		State:           j.State,
+		Cached:          j.cached,
+		Error:           j.errMsg,
+		WallNS:          j.wallNS,
+		SimNS:           j.simNS,
+		SubmittedUnixNS: j.submitted.UnixNano(),
+		FinishedUnixNS:  j.finished.UnixNano(),
+	}
+	switch {
+	case j.Sim != nil:
+		e.Workload = j.Sim.Workload
+		e.System = j.Sim.System
+		e.Frac = j.Sim.Frac
+		e.Seed = j.Sim.Seed
+		e.Quick = j.Sim.Quick
+	case j.Exp != nil:
+		e.Experiment = j.Exp.Experiment
+		e.Seed = j.Exp.Seed
+		e.Quick = j.Exp.Quick
+	}
+	return e
+}
+
+// Journal is an append-only JSONL sink for evicted terminal jobs. One
+// entry per line, flushed per append: a crash loses at most the entry
+// being written, and `tail -f` sees evictions as they happen. Appends
+// are serialized by an internal mutex, so one Journal is safe to share
+// with the engine's eviction path.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	flush  func() error
+	closer io.Closer // nil when the journal doesn't own its sink
+}
+
+// OpenJournal opens (creating if needed) an append-only journal file.
+// Appending to an existing file continues the audit trail — the journal
+// is append-only by construction, never truncated.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return &Journal{w: bw, flush: bw.Flush, closer: f}, nil
+}
+
+// NewJournal wraps an arbitrary writer (tests, in-memory buffers). The
+// caller keeps ownership of w; Close does not close it.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, flush: func() error { return nil }}
+}
+
+// Append writes one entry as a single JSON line.
+func (j *Journal) Append(e JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.flush()
+}
+
+// Close flushes and closes the underlying file, when the journal owns
+// one.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.flush(); err != nil {
+		return err
+	}
+	if j.closer != nil {
+		return j.closer.Close()
+	}
+	return nil
+}
+
+// ReadJournal replays a journal stream back into entries, in append
+// order. Operators (and the replay test) use it to audit jobs past the
+// retention window without the daemon holding them in memory.
+func ReadJournal(r io.Reader) ([]JournalEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []JournalEntry
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReadJournalFile replays a journal file from disk.
+func ReadJournalFile(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

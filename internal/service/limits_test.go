@@ -72,11 +72,11 @@ func TestSubmitOverloadedRejectsFast(t *testing.T) {
 		t.Fatalf("rejected submission left a registry entry: %d runs, want 2", got)
 	}
 	m := e.Metrics()
-	if m.RunsRejected != 1 {
-		t.Fatalf("runs_rejected = %d, want 1", m.RunsRejected)
+	if got := m.Jobs[KindSim].Rejected; got != 1 {
+		t.Fatalf("sim jobs rejected = %d, want 1", got)
 	}
-	if m.RunsSubmitted != 2 {
-		t.Fatalf("runs_submitted = %d, want 2 (rejections don't count)", m.RunsSubmitted)
+	if got := m.Jobs[KindSim].Submitted; got != 2 {
+		t.Fatalf("sim jobs submitted = %d, want 2 (rejections don't count)", got)
 	}
 	close(release)
 }
@@ -105,8 +105,8 @@ func TestRunTimeoutFailsRunAndFreesWorker(t *testing.T) {
 		t.Fatalf("timed-out run error = %q, want it to mention %q", final.Error, ErrRunTimeout)
 	}
 	m := e.Metrics()
-	if m.RunsTimedOut != 1 || m.RunsFailed != 1 {
-		t.Fatalf("timeout counters = timed_out %d failed %d, want 1/1", m.RunsTimedOut, m.RunsFailed)
+	if kc := m.Jobs[KindSim]; kc.TimedOut != 1 || kc.Failed != 1 {
+		t.Fatalf("timeout counters = timed_out %d failed %d, want 1/1", kc.TimedOut, kc.Failed)
 	}
 	// The worker must be free: a normal run completes.
 	next, err := e.Submit(seedReq(2))
@@ -140,8 +140,8 @@ func TestCancelIsNotMistakenForTimeout(t *testing.T) {
 	if final.State != StateCancelled {
 		t.Fatalf("cancelled run state = %s, want cancelled", final.State)
 	}
-	if got := e.Metrics().RunsTimedOut; got != 0 {
-		t.Fatalf("runs_timed_out = %d after a plain cancel, want 0", got)
+	if got := e.Metrics().Jobs[KindSim].TimedOut; got != 0 {
+		t.Fatalf("sim jobs timed out = %d after a plain cancel, want 0", got)
 	}
 }
 
@@ -161,7 +161,7 @@ func TestRegistryEvictsTerminalRunsPastRetention(t *testing.T) {
 			first = st.ID
 		}
 	}
-	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.RunsCompleted == total })
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.Jobs[KindSim].Completed == total })
 	m := e.Metrics()
 	if m.RegistrySize != retain {
 		t.Fatalf("registry_size = %d after %d runs, want %d", m.RegistrySize, total, retain)
@@ -240,7 +240,7 @@ func TestSustainedLoadStaysBounded(t *testing.T) {
 			maxDepth = m.QueueDepth
 		}
 	}
-	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.RunsCompleted == total })
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.Jobs[KindSim].Completed == total })
 
 	// Queue depth plateaus at its bound; the registry at retention plus
 	// whatever can legitimately be in flight.
@@ -278,7 +278,7 @@ func TestRetryAfterHintAdaptsToLoad(t *testing.T) {
 	}
 
 	// Mean wall time 2s, empty queue, 1 worker: hint is one mean run.
-	e.ctr.runsCompleted.Store(4)
+	e.ctr.kind(KindSim).completed.Store(4)
 	e.ctr.runWallNS.Store((8 * time.Second).Nanoseconds())
 	if got := e.RetryAfterHint(); got != 2*time.Second {
 		t.Fatalf("hint with mean 2s and empty queue = %v, want 2s", got)
@@ -288,21 +288,21 @@ func TestRetryAfterHintAdaptsToLoad(t *testing.T) {
 	}
 
 	// Fast runs (mean 1ms) must not produce a sub-second hint.
-	e.ctr.runsCompleted.Store(1000)
+	e.ctr.kind(KindSim).completed.Store(1000)
 	e.ctr.runWallNS.Store(time.Second.Nanoseconds())
 	if got := e.RetryAfterHint(); got != time.Second {
 		t.Fatalf("hint with mean 1ms = %v, want clamped to the 1s floor", got)
 	}
 
 	// A pathological mean is capped so clients never park for hours.
-	e.ctr.runsCompleted.Store(1)
+	e.ctr.kind(KindSim).completed.Store(1)
 	e.ctr.runWallNS.Store((3 * time.Hour).Nanoseconds())
 	if got := e.RetryAfterHint(); got != time.Minute {
 		t.Fatalf("hint with mean 3h = %v, want the 60s cap", got)
 	}
 
 	// The snapshot carries the same value scrapers see.
-	e.ctr.runsCompleted.Store(2)
+	e.ctr.kind(KindSim).completed.Store(2)
 	e.ctr.runWallNS.Store((6 * time.Second).Nanoseconds())
 	if got := e.Metrics().RetryAfterHintNS; got != (3 * time.Second).Nanoseconds() {
 		t.Fatalf("metrics retry_after_hint_ns = %d, want %d", got, (3 * time.Second).Nanoseconds())
@@ -337,7 +337,7 @@ func TestRetryAfterHintScalesWithQueueDepth(t *testing.T) {
 		}
 	}
 	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.QueueDepth == 4 })
-	e.ctr.runsCompleted.Store(1)
+	e.ctr.kind(KindSim).completed.Store(1)
 	e.ctr.runWallNS.Store((2 * time.Second).Nanoseconds())
 	// mean 2s × (4 queued + 1 incoming) / 1 worker.
 	if got := e.RetryAfterHint(); got != 10*time.Second {
@@ -371,7 +371,7 @@ func TestHTTP429OnOverload(t *testing.T) {
 	}
 	// Seed the wall-time counters so the adaptive header has a known
 	// value: mean 5s × (1 queued + 1 incoming) / 1 worker = 10s.
-	e.ctr.runsCompleted.Store(1)
+	e.ctr.kind(KindSim).completed.Store(1)
 	e.ctr.runWallNS.Store((5 * time.Second).Nanoseconds())
 	b, _ := json.Marshal(seedReq(3))
 	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(b))

@@ -2,55 +2,93 @@ package service
 
 import "sync/atomic"
 
-// counters are the engine's expvar-style runtime counters. All fields
-// are monotonic except the gauges derived at snapshot time.
-type counters struct {
-	runsSubmitted     atomic.Uint64
-	runsStarted       atomic.Uint64
-	runsCompleted     atomic.Uint64
-	runsFailed        atomic.Uint64
-	runsCancelled     atomic.Uint64
-	runsRejected      atomic.Uint64 // fail-fast admission rejections (429s)
-	runsTimedOut      atomic.Uint64 // subset of runsFailed that hit -run-timeout
-	registryEvictions atomic.Uint64 // terminal runs dropped by retention
-	cacheHits         atomic.Uint64
-	cacheMisses       atomic.Uint64
-	expStarted        atomic.Uint64
-	expCompleted      atomic.Uint64
-	expFailed         atomic.Uint64
-	runWallNS         atomic.Int64 // total wall time spent executing runs
-	runSimulatedNS    atomic.Int64 // total simulated time produced by runs
+// kindCounters are one job kind's monotonic lifecycle counters. Sim and
+// experiment jobs move the same set, so a dashboard reads both kinds
+// with one query shape instead of two bespoke families.
+type kindCounters struct {
+	submitted atomic.Uint64
+	started   atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	rejected  atomic.Uint64 // fail-fast admission rejections (429s)
+	timedOut  atomic.Uint64 // subset of failed that hit -run-timeout
 }
 
-// MetricsSnapshot is the /metrics payload: a point-in-time copy of every
-// counter plus the live gauges. Field order is fixed by the struct, so
-// the serialized form is stable.
-type MetricsSnapshot struct {
-	RunsSubmitted uint64 `json:"runs_submitted"`
-	RunsStarted   uint64 `json:"runs_started"`
-	RunsCompleted uint64 `json:"runs_completed"`
-	RunsFailed    uint64 `json:"runs_failed"`
-	RunsCancelled uint64 `json:"runs_cancelled"`
-	// RunsRejected counts submissions shed by admission control (HTTP
-	// 429); they never entered the registry. RunsTimedOut is the subset
-	// of RunsFailed that exceeded the per-run deadline.
-	RunsRejected uint64 `json:"runs_rejected"`
-	RunsTimedOut uint64 `json:"runs_timed_out"`
+// counters are the engine's expvar-style runtime counters: a
+// kindCounters block per job kind plus the kind-agnostic shared ones
+// (cache, journal, wall/simulated time). The byKind map is built once
+// at construction and never mutated afterwards, so lock-free concurrent
+// reads are safe.
+type counters struct {
+	byKind map[JobKind]*kindCounters
 
-	// RegistrySize is the live run-registry gauge; RegistryEvictions
-	// counts terminal runs dropped by the retention policy (their IDs
-	// answer 404 afterwards). RetainRuns echoes the configured bound.
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	runWallNS      atomic.Int64 // total wall time spent executing jobs (both kinds)
+	runSimulatedNS atomic.Int64 // total simulated time produced by sim jobs
+}
+
+func newCounters() *counters {
+	c := &counters{byKind: make(map[JobKind]*kindCounters, len(jobKinds))}
+	for _, k := range jobKinds {
+		c.byKind[k] = &kindCounters{}
+	}
+	return c
+}
+
+// kind returns the counter block for one job kind.
+func (c *counters) kind(k JobKind) *kindCounters { return c.byKind[k] }
+
+// completedTotal sums completions across kinds — the denominator of the
+// adaptive Retry-After estimate (both kinds drain the same queue).
+func (c *counters) completedTotal() uint64 {
+	var n uint64
+	for _, k := range jobKinds {
+		n += c.byKind[k].completed.Load()
+	}
+	return n
+}
+
+// JobCounters is the externally visible snapshot of one kind's
+// lifecycle counters. Rejected counts submissions shed by admission
+// control (HTTP 429); they never entered the registry. TimedOut is the
+// subset of Failed that exceeded the per-run deadline.
+type JobCounters struct {
+	Submitted uint64 `json:"submitted"`
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+	TimedOut  uint64 `json:"timed_out"`
+}
+
+// MetricsSnapshot is the /metrics payload: a point-in-time copy of
+// every counter plus the live gauges. Jobs is keyed by kind ("sim",
+// "experiment") and both kinds carry the identical counter shape;
+// encoding/json sorts the map keys, so the serialized form is stable.
+type MetricsSnapshot struct {
+	Jobs map[JobKind]JobCounters `json:"jobs"`
+
+	// RegistrySize is the live job-registry gauge covering both kinds;
+	// RegistryEvictions counts terminal jobs dropped by the retention
+	// policy (their IDs answer 404 afterwards). RetainRuns echoes the
+	// configured bound.
 	RegistrySize      int    `json:"registry_size"`
 	RegistryEvictions uint64 `json:"registry_evictions"`
 	RetainRuns        int    `json:"retain_runs"`
 
+	// JournalWrites counts evicted jobs appended to the -journal file;
+	// JournalErrors counts appends that failed (the eviction proceeds
+	// regardless — the registry bound is load-bearing, the audit trail
+	// is best-effort).
+	JournalWrites uint64 `json:"journal_writes"`
+	JournalErrors uint64 `json:"journal_errors"`
+
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	CacheSize   int    `json:"cache_size"`
-
-	ExperimentsStarted   uint64 `json:"experiments_started"`
-	ExperimentsCompleted uint64 `json:"experiments_completed"`
-	ExperimentsFailed    uint64 `json:"experiments_failed"`
 
 	QueueDepth int `json:"queue_depth"`
 	// QueueLimit is the admission bound (0 = unbounded); RunTimeoutNS is
@@ -59,11 +97,11 @@ type MetricsSnapshot struct {
 	QueueLimit   int   `json:"queue_limit"`
 	RunTimeoutNS int64 `json:"run_timeout_ns"`
 	// RetryAfterHintNS is the adaptive backoff hint 429 responses carry
-	// in Retry-After (mean run wall time × queued runs per worker,
+	// in Retry-After (mean job wall time × queued jobs per worker,
 	// clamped to [1s, 60s]) — exported so operators can see what
 	// rejected clients are being told.
 	RetryAfterHintNS int64 `json:"retry_after_hint_ns"`
-	ActiveRuns       int   `json:"active_runs"`
+	ActiveJobs       int   `json:"active_jobs"`
 	Workers          int   `json:"workers"`
 
 	// CatalogWorkloads/CatalogSystems size the request space servable by
@@ -72,28 +110,32 @@ type MetricsSnapshot struct {
 	CatalogSystems   int `json:"catalog_systems"`
 
 	// RunWallNS is total wall-clock nanoseconds workers spent executing
-	// runs; RunSimulatedNS is the total simulated nanoseconds those runs
-	// covered. Their ratio is the engine's time-dilation factor.
+	// jobs of both kinds; RunSimulatedNS is the total simulated
+	// nanoseconds sim jobs covered. Their ratio is the engine's
+	// time-dilation factor.
 	RunWallNS      int64 `json:"run_wall_ns"`
 	RunSimulatedNS int64 `json:"run_simulated_ns"`
 }
 
 func (c *counters) snapshot() MetricsSnapshot {
+	jobs := make(map[JobKind]JobCounters, len(jobKinds))
+	for _, k := range jobKinds {
+		kc := c.byKind[k]
+		jobs[k] = JobCounters{
+			Submitted: kc.submitted.Load(),
+			Started:   kc.started.Load(),
+			Completed: kc.completed.Load(),
+			Failed:    kc.failed.Load(),
+			Cancelled: kc.cancelled.Load(),
+			Rejected:  kc.rejected.Load(),
+			TimedOut:  kc.timedOut.Load(),
+		}
+	}
 	return MetricsSnapshot{
-		RunsSubmitted:        c.runsSubmitted.Load(),
-		RunsStarted:          c.runsStarted.Load(),
-		RunsCompleted:        c.runsCompleted.Load(),
-		RunsFailed:           c.runsFailed.Load(),
-		RunsCancelled:        c.runsCancelled.Load(),
-		RunsRejected:         c.runsRejected.Load(),
-		RunsTimedOut:         c.runsTimedOut.Load(),
-		RegistryEvictions:    c.registryEvictions.Load(),
-		CacheHits:            c.cacheHits.Load(),
-		CacheMisses:          c.cacheMisses.Load(),
-		ExperimentsStarted:   c.expStarted.Load(),
-		ExperimentsCompleted: c.expCompleted.Load(),
-		ExperimentsFailed:    c.expFailed.Load(),
-		RunWallNS:            c.runWallNS.Load(),
-		RunSimulatedNS:       c.runSimulatedNS.Load(),
+		Jobs:           jobs,
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		RunWallNS:      c.runWallNS.Load(),
+		RunSimulatedNS: c.runSimulatedNS.Load(),
 	}
 }

@@ -1,5 +1,5 @@
 // Package service is the long-lived simulation engine behind cmd/hoppd:
-// a bounded worker pool executing submitted runs in FIFO order, a run
+// a bounded worker pool executing submitted jobs in FIFO order, a job
 // registry tracking every submission through its lifecycle, an LRU
 // result cache keyed by the canonicalized request, and runtime counters
 // for observability. The package exists so that simulations are served —
@@ -7,10 +7,16 @@
 // same shift HoPP itself makes from fault-driven on-demand work to an
 // always-on pipeline (PAPER.md §III).
 //
-// Determinism survives concurrency by construction: every run builds its
-// own Machine and workload generators from the canonical request, shares
-// nothing with other runs, and serializes its Metrics once; the cache
-// stores those bytes, so identical requests return byte-identical
+// Every unit of offered work is a Job: workload × system simulations
+// (KindSim) and experiment regenerations (KindExperiment) flow through
+// one admission-controlled pipeline — the same queue bound, per-run
+// deadline, retention policy, eviction journal, and per-kind metrics —
+// instead of two parallel code paths.
+//
+// Determinism survives concurrency by construction: every job builds
+// its own machines and workload generators from the canonical request,
+// shares nothing with other jobs, and serializes its result once; the
+// cache stores those bytes, so identical requests return byte-identical
 // results regardless of worker interleaving.
 package service
 

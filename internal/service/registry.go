@@ -1,0 +1,204 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobKind distinguishes the two units of work the engine serves. Both
+// flow through the same admission control, worker pool, deadline, and
+// retention policy; the kind only decides what executes and how the
+// result serializes.
+type JobKind string
+
+// The two job kinds: workload × system simulations and experiment
+// (table/figure) regenerations.
+const (
+	KindSim        JobKind = "sim"
+	KindExperiment JobKind = "experiment"
+)
+
+// jobKinds lists every kind in fixed order, so anything iterating kinds
+// (metrics snapshots, journal summaries) stays deterministic without
+// ranging over a map.
+var jobKinds = []JobKind{KindSim, KindExperiment}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: Queued → Running → one of Done/Failed/Cancelled.
+// Cache hits are born Done.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one admitted unit of work in the registry — a simulation run
+// or an experiment regeneration. All fields except progress are guarded
+// by the owning registry's mutex; progress is written lock-free by the
+// experiment callback while the job executes.
+type Job struct {
+	ID    string
+	Kind  JobKind
+	State JobState
+	// Deadline is the wall-clock instant the executing job's context
+	// expires; zero while queued or when no -run-timeout is configured.
+	Deadline time.Time
+	// Result holds the serialized payload once State is done: marshaled
+	// sim.Metrics for sim jobs, rendered table text for experiment jobs.
+	Result []byte
+
+	// Sim is the normalized payload of a KindSim job; Exp of a
+	// KindExperiment job. Exactly one is non-nil.
+	Sim *RunRequest
+	Exp *ExperimentRequest
+
+	key       string // canonical cache key; also what makes jobs dedupable
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time // terminal-transition time, drives age eviction
+	wallNS    int64
+	simNS     int64
+	errMsg    string
+	progress  atomic.Int64 // completed simulation units (experiment jobs)
+	cancel    func()
+	done      chan struct{}
+}
+
+// registry is the bounded window of recent jobs: every admitted job of
+// either kind lives here from submission until retention evicts it.
+// It owns the engine's primary mutex — submission, state transitions,
+// snapshots, and eviction all serialize on reg.mu, and the lock order
+// is reg.mu → pool.mu, taken nowhere in reverse.
+type registry struct {
+	mu sync.Mutex
+
+	retain    int
+	retainAge time.Duration
+
+	jobs   map[string]*Job
+	order  []string // submission order; may hold evicted IDs until compaction
+	term   []string // terminal jobs, oldest-finished first (eviction order)
+	nextID int
+
+	evictions atomic.Uint64
+	journal   *Journal // optional; terminal jobs are journaled on eviction
+	jwrites   atomic.Uint64
+	jerrors   atomic.Uint64
+}
+
+// newRegistry builds a registry bounded by retain entries and retainAge
+// of terminal-job age (<= 0 disables the age bound). journal may be nil.
+func newRegistry(retain int, retainAge time.Duration, journal *Journal) *registry {
+	if retain <= 0 {
+		retain = DefaultRetainRuns
+	}
+	return &registry{
+		retain:    retain,
+		retainAge: retainAge,
+		jobs:      make(map[string]*Job),
+		journal:   journal,
+	}
+}
+
+// addLocked admits a job: assigns the next ID and records it in
+// submission order. reg.mu must be held. Admission control runs before
+// this — a rejected submission never reaches the registry, which is the
+// PR 2 invariant both kinds now share.
+func (g *registry) addLocked(j *Job) {
+	g.nextID++
+	j.ID = jobID(g.nextID)
+	g.jobs[j.ID] = j
+	g.order = append(g.order, j.ID)
+}
+
+// jobID renders the n-th admitted job's ID. Sim and experiment jobs
+// share one ID space (r000042), so GET /v1/runs/{id} is kind-agnostic.
+func jobID(n int) string { return fmt.Sprintf("r%06d", n) }
+
+// getLocked looks a job up; reg.mu must be held.
+func (g *registry) getLocked(id string) (*Job, bool) {
+	j, ok := g.jobs[id]
+	return j, ok
+}
+
+// sizeLocked reports the live job count; reg.mu must be held.
+func (g *registry) sizeLocked() int { return len(g.jobs) }
+
+// markTerminalLocked records a job's transition into a terminal state
+// and evicts the oldest terminal jobs past the retention bounds; reg.mu
+// must be held. Every path that finishes a job goes through here, which
+// is what keeps the registry O(retention + in-flight) instead of
+// O(total submissions).
+func (g *registry) markTerminalLocked(j *Job, now time.Time) {
+	j.finished = now
+	g.term = append(g.term, j.ID)
+	g.evictLocked(now)
+}
+
+// evictLocked drops terminal jobs beyond the retention count or older
+// than the retention age; reg.mu must be held. g.term is ordered by
+// finish time, so eviction only ever pops from its front. Evicted jobs
+// are appended to the journal (when one is configured) on their way
+// out — the registry stays bounded, the audit trail does not. The
+// submission-order slice is compacted lazily once evicted IDs dominate
+// it, keeping both structures bounded without an O(n) scan per eviction.
+func (g *registry) evictLocked(now time.Time) {
+	n := 0
+	for n < len(g.term) {
+		id := g.term[n]
+		overCount := len(g.term)-n > g.retain
+		overAge := g.retainAge > 0 && now.Sub(g.jobs[id].finished) > g.retainAge
+		if !overCount && !overAge {
+			break
+		}
+		if g.journal != nil {
+			if err := g.journal.Append(journalEntry(g.jobs[id])); err != nil {
+				g.jerrors.Add(1)
+			} else {
+				g.jwrites.Add(1)
+			}
+		}
+		delete(g.jobs, id)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	g.term = g.term[n:]
+	g.evictions.Add(uint64(n))
+	if len(g.order) > 2*len(g.jobs) {
+		kept := make([]string, 0, len(g.jobs))
+		for _, id := range g.order {
+			if _, ok := g.jobs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		g.order = kept
+	}
+}
+
+// listLocked appends a snapshot of every retained job in submission
+// order; reg.mu must be held. Evicted jobs no longer appear; under
+// sustained load the list plateaus at the retention bound plus whatever
+// is queued or running.
+func (g *registry) listLocked(snap func(*Job) RunStatus) []RunStatus {
+	out := make([]RunStatus, 0, len(g.jobs))
+	for _, id := range g.order {
+		if j, ok := g.jobs[id]; ok {
+			out = append(out, snap(j))
+		}
+	}
+	return out
+}

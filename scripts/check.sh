@@ -11,14 +11,18 @@ go vet ./...
 
 # copylocks explicitly as a hard gate (a copied sync.Mutex in the
 # service layer silently breaks every bound this code enforces). shadow
-# is not a built-in vet analyzer; gate on it only when the standalone
-# tool is installed so the script has no dependency the toolchain
-# doesn't ship.
+# is not a built-in vet analyzer: in CI the workflow installs it and a
+# missing tool is a hard failure (a broken install step must not
+# silently drop the check); locally it stays best-effort so the script
+# has no dependency the toolchain doesn't ship.
 echo "== go vet -copylocks ./..."
 go vet -copylocks ./...
 if shadow_tool=$(command -v shadow 2>/dev/null); then
     echo "== go vet -vettool=shadow ./..."
     go vet -vettool="$shadow_tool" ./...
+elif [ "${CI:-}" = "true" ]; then
+    echo "ERROR: CI=true but shadow analyzer is not installed; the workflow's install step is broken" >&2
+    exit 1
 else
     echo "WARN: shadow analyzer not installed; shadow check skipped (copylocks gated above)"
 fi
