@@ -16,11 +16,21 @@
 // regeneration — is one Job in a single shared lifecycle. The daemon is
 // built to run indefinitely under any mix of the two: the job registry
 // retains a bounded window of finished jobs (-retain-runs/-retain-age,
-// evicted IDs answer 404; with -journal they are appended to an
-// append-only JSONL audit trail on the way out), submissions beyond
-// -max-queue are shed with 429 + Retry-After, each job is capped by
-// -run-timeout, and the HTTP server bounds header/read/idle time so
-// slow clients cannot pin connections.
+// evicted IDs answer 404), submissions beyond -max-queue are shed with
+// 429 + Retry-After, each job is capped by -run-timeout, and the HTTP
+// server bounds header/read/idle time so slow clients cannot pin
+// connections. With -client-rate, per-client token buckets (keyed by
+// X-API-Key, else remote address) shed a flooding client's submissions
+// with 429 while everyone else keeps flowing.
+//
+// With -journal every job is appended to an append-only JSONL file the
+// moment it reaches a terminal state, results included; -journal-replay
+// reads that file back at startup and repopulates the registry and
+// result cache, so a crash/restart cycle serves previously-completed
+// runs byte-identically instead of recomputing them. A run that panics
+// is contained on its worker: the job fails, jobs_panicked ticks, and
+// the daemon keeps serving. /healthz reports "degraded" (still 200)
+// when the queue nears its bound or the last journal write failed.
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes, then
 // queued and in-flight jobs drain (up to -drain-timeout) before exit.
@@ -60,7 +70,14 @@ func run() error {
 		retainRuns = flag.Int("retain-runs", service.DefaultRetainRuns, "finished jobs kept queryable before eviction (404 afterwards)")
 		retainAge  = flag.Duration("retain-age", time.Hour, "evict finished jobs older than this (0 = no age bound)")
 		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-job wall-clock deadline; timed-out jobs fail (0 = none)")
-		journal    = flag.String("journal", "", "append evicted terminal jobs to this JSONL file (empty = no journal)")
+		journal    = flag.String("journal", "", "append terminal jobs (results included) to this JSONL file (empty = no journal)")
+		replay     = flag.Bool("journal-replay", false, "replay the -journal file at startup, repopulating the registry and result cache")
+
+		// Per-client fairness: token buckets in front of the shared
+		// queue, so one flooding client collects 429s instead of
+		// starving everyone else's admissions.
+		clientRate  = flag.Float64("client-rate", 0, "per-client admitted submissions per second (0 = no per-client limit)")
+		clientBurst = flag.Float64("client-burst", 8, "per-client burst allowance when -client-rate is set")
 
 		// HTTP server timeouts: without these an idle or trickling
 		// client (slowloris) pins a connection forever.
@@ -73,21 +90,12 @@ func run() error {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	var jnl *service.Journal
-	if *journal != "" {
-		j, err := service.OpenJournal(*journal)
-		if err != nil {
-			return fmt.Errorf("opening -journal: %w", err)
-		}
-		jnl = j
-		defer func() {
-			if err := jnl.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "hoppd: closing journal:", err)
-			}
-		}()
+	if *replay && *journal == "" {
+		return errors.New("-journal-replay requires -journal")
 	}
 
+	// Replay happens against the file BEFORE opening it for append, so
+	// the reader never races the writer's own buffering.
 	engine := service.NewEngine(service.Options{
 		Workers:      *workers,
 		CacheEntries: *cache,
@@ -95,15 +103,42 @@ func run() error {
 		RetainRuns:   *retainRuns,
 		RetainAge:    *retainAge,
 		RunTimeout:   *runTimeout,
-		Journal:      jnl,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hoppd: "+format+"\n", args...)
+		},
 	})
+	if *replay {
+		stats, err := engine.ReplayJournalFile(*journal)
+		if err != nil {
+			return fmt.Errorf("replaying -journal: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hoppd: journal replay: %d recovered, %d skipped, %d malformed\n",
+			stats.Recovered, stats.Skipped, stats.Malformed)
+	}
+	if *journal != "" {
+		jnl, err := service.OpenJournal(*journal)
+		if err != nil {
+			return fmt.Errorf("opening -journal: %w", err)
+		}
+		engine.SetJournal(jnl)
+		defer func() {
+			if err := jnl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hoppd: closing journal:", err)
+			}
+		}()
+	}
+
+	var limiter *service.ClientLimiter
+	if *clientRate > 0 {
+		limiter = service.NewClientLimiter(*clientRate, *clientBurst, 0)
+	}
 	// No WriteTimeout: /v1/experiments/{id} streams output for as long
 	// as the (context-cancellable) experiment runs; a write deadline
 	// would sever healthy streams. Reads and idle keep-alives are the
 	// slowloris surface, and those are bounded.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(engine),
+		Handler:           service.NewHandlerWith(engine, service.HandlerConfig{Limiter: limiter}),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -132,7 +167,7 @@ func run() error {
 		serr = nil
 	}
 	if err := engine.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("drain incomplete: %w", err)
+		return err // typed: service.ErrDrainIncomplete wrapping the deadline
 	}
 	if serr != nil {
 		return serr

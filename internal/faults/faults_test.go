@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedAndNilInjectorAreInert(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Hit(SiteRunPanic) {
+		t.Fatal("nil injector fired")
+	}
+	if err := nilIn.ErrAt(SiteJournalAppend); err != nil {
+		t.Fatalf("nil injector ErrAt = %v, want nil", err)
+	}
+	if nilIn.Hits("x") != 0 || nilIn.Fired("x") != 0 {
+		t.Fatal("nil injector counted")
+	}
+
+	in := New(1)
+	if in.Hit(SiteRunPanic) {
+		t.Fatal("unarmed site fired")
+	}
+	if in.Hits(SiteRunPanic) != 0 {
+		t.Fatal("unarmed site counted hits")
+	}
+}
+
+func TestOnHitsFiresExactly(t *testing.T) {
+	in := New(1)
+	in.Enable("s", OnHits(2, 4))
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if in.Hit("s") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("OnHits(2,4) fired on %v, want [2 4]", fired)
+	}
+	if in.Hits("s") != 5 || in.Fired("s") != 2 {
+		t.Fatalf("counters = %d hits / %d fired, want 5/2", in.Hits("s"), in.Fired("s"))
+	}
+}
+
+func TestEveryNthAndAlwaysAndNever(t *testing.T) {
+	in := New(1)
+	in.Enable("n", EveryNth(3))
+	in.Enable("a", Always())
+	in.Enable("z", Never())
+	for i := 0; i < 9; i++ {
+		in.Hit("n")
+		if !in.Hit("a") {
+			t.Fatal("Always missed a hit")
+		}
+		if in.Hit("z") {
+			t.Fatal("Never fired")
+		}
+	}
+	if got := in.Fired("n"); got != 3 {
+		t.Fatalf("EveryNth(3) fired %d of 9, want 3", got)
+	}
+	if in.Hits("z") != 9 {
+		t.Fatalf("Never must still count hits: %d, want 9", in.Hits("z"))
+	}
+}
+
+// The determinism contract: equal seeds and equal call sequences make
+// equal fault decisions, so a failing fault test replays identically.
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.Enable("p", Probability(0.5))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit("p")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-hit sequences (suspicious)")
+	}
+}
+
+func TestErrAtWrapsErrInjected(t *testing.T) {
+	in := New(1)
+	in.Enable(SiteJournalAppend, OnHits(1))
+	err := in.ErrAt(SiteJournalAppend)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrAt = %v, want ErrInjected", err)
+	}
+	if err := in.ErrAt(SiteJournalAppend); err != nil {
+		t.Fatalf("second ErrAt = %v, want nil (OnHits(1))", err)
+	}
+}
+
+func TestDisableStopsFiringKeepsGate(t *testing.T) {
+	in := New(1)
+	in.Enable("s", Always())
+	g := in.Gate("s")
+	if !in.Hit("s") {
+		t.Fatal("armed site did not fire")
+	}
+	in.Disable("s")
+	if in.Hit("s") {
+		t.Fatal("disabled site fired")
+	}
+	if in.Hits("s") != 1 {
+		t.Fatalf("disabled site counted: %d hits, want 1", in.Hits("s"))
+	}
+	if in.Gate("s") != g {
+		t.Fatal("Disable replaced the site's gate; parked waiters would be stranded")
+	}
+}
+
+func TestGateParksAndReleases(t *testing.T) {
+	g := NewGate()
+	const n = 4
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- g.Wait(context.Background()) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiters() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d, want %d", g.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Open()
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("released waiter returned %v", err)
+		}
+	}
+	if g.Waiters() != 0 {
+		t.Fatalf("waiters after open = %d, want 0", g.Waiters())
+	}
+	// Already-open gate: immediate, idempotent.
+	g.Open()
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait on open gate = %v", err)
+	}
+}
+
+func TestGateWaitHonorsContext(t *testing.T) {
+	g := NewGate()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Wait(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Wait = %v, want context.Canceled", err)
+	}
+}
+
+// Concurrent hits on one injector must be race-free and conserve
+// counts (this is the -race half of the package's contract).
+func TestConcurrentHitsAreCounted(t *testing.T) {
+	in := New(7)
+	in.Enable("s", EveryNth(2))
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				in.Hit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits("s"); got != goroutines*per {
+		t.Fatalf("hits = %d, want %d", got, goroutines*per)
+	}
+	if got := in.Fired("s"); got != goroutines*per/2 {
+		t.Fatalf("fired = %d, want %d", got, goroutines*per/2)
+	}
+}

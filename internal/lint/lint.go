@@ -54,6 +54,9 @@ var DeterministicPackages = map[string]bool{
 	"vmm":         true,
 	"vclock":      true,
 	"core":        true,
+	// The fault injector must itself be deterministic — seeded rules, no
+	// wall clock — or the failures it injects wouldn't replay.
+	"faults": true,
 }
 
 // Diagnostic is one finding, formatted as "file:line: analyzer: message".

@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"hopp/internal/experiments"
+	"hopp/internal/faults"
 	"hopp/internal/sim"
 )
 
@@ -30,7 +32,28 @@ var (
 	// ErrRunTimeout marks a job that exceeded the per-run deadline; such
 	// jobs land in StateFailed with this error in their message.
 	ErrRunTimeout = errors.New("service: run timeout exceeded")
+	// ErrRunPanicked marks a job whose work function panicked. The panic
+	// is contained on the worker: that one job lands in StateFailed with
+	// a PanicError (stack attached), the worker and every other
+	// in-flight job keep running.
+	ErrRunPanicked = errors.New("service: run panicked")
+	// ErrDrainIncomplete is returned by Shutdown when the drain deadline
+	// expired before in-flight work unwound; the daemon exits non-zero
+	// so operators can tell a clean drain from a forced one.
+	ErrDrainIncomplete = errors.New("service: drain incomplete")
 )
+
+// PanicError is the typed failure of a panicked job: the recovered
+// value plus the goroutine stack captured at the recovery point.
+// errors.Is(err, ErrRunPanicked) identifies it; errors.As extracts the
+// stack for logs.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("%v: %v", ErrRunPanicked, p.Value) }
+func (p *PanicError) Unwrap() error { return ErrRunPanicked }
 
 // RunRequest is one workload × system simulation submission — the
 // payload of a KindSim job.
@@ -161,9 +184,18 @@ type Options struct {
 	// request cannot pin a worker; timed-out jobs land in StateFailed
 	// with ErrRunTimeout. <= 0 disables the deadline.
 	RunTimeout time.Duration
-	// Journal, when non-nil, receives a JSONL entry for every terminal
-	// job the registry evicts — the audit trail past -retain-runs.
+	// Journal, when non-nil, receives a JSONL entry for every job the
+	// moment it reaches a terminal state — the audit trail past
+	// -retain-runs and the recovery source for ReplayJournal.
 	Journal *Journal
+	// Logf, when non-nil, receives operational log lines (journal write
+	// bursts, contained panics). Nil discards them.
+	Logf func(format string, args ...any)
+	// Faults, when non-nil, threads a deterministic fault injector into
+	// the engine, its pool, and its journal — the test-only seam that
+	// forces panics, journal errors, slow runs, and queue pressure on
+	// demand. Nil (the production default) costs one nil check per site.
+	Faults *faults.Injector
 }
 
 // Engine is the long-lived simulation service: a FIFO worker pool fed
@@ -188,6 +220,13 @@ type Engine struct {
 
 	closed bool // guarded by reg.mu
 
+	logf   func(format string, args ...any)
+	faults *faults.Injector // nil in production
+
+	// replayed counts journal entries ReplayJournal recovered into the
+	// registry/cache — the journal_replayed gauge.
+	replayed int // guarded by reg.mu
+
 	// Hooks, replaceable in tests to decouple lifecycle tests from
 	// simulation wall time.
 	runSim func(ctx context.Context, req RunRequest) (sim.Metrics, error)
@@ -196,21 +235,44 @@ type Engine struct {
 
 // NewEngine starts an engine; callers must Shutdown (or Close) it.
 func NewEngine(opts Options) *Engine {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.Journal != nil && opts.Faults != nil {
+		opts.Journal.SetInjector(opts.Faults)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		pool:       NewPoolWithQueue(opts.Workers, opts.MaxQueue),
 		cache:      newLRUCache(opts.CacheEntries),
 		ctr:        newCounters(),
-		reg:        newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal),
+		reg:        newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal, logf),
 		runTimeout: opts.RunTimeout,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		logf:       logf,
+		faults:     opts.Faults,
 		runSim:     runSimulation,
 		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
 			return exp.Run(ctx, opts)
 		},
 	}
+	e.pool.setInjector(opts.Faults)
 	return e
+}
+
+// SetJournal attaches (or replaces) the terminal-job journal. The
+// daemon uses it to sequence startup — replay the old file first, then
+// open it for append — so the replay reader never races the writer.
+// Safe to call while the engine is serving.
+func (e *Engine) SetJournal(j *Journal) {
+	if j != nil && e.faults != nil {
+		j.SetInjector(e.faults)
+	}
+	e.reg.mu.Lock()
+	e.reg.journal = j
+	e.reg.mu.Unlock()
 }
 
 // runSimulation executes one normalized request from scratch: its own
@@ -334,7 +396,7 @@ func (e *Engine) execute(j *Job) {
 	defer cancel()
 	e.ctr.kind(j.Kind).started.Add(1)
 
-	result, simNS, err := e.executeKind(ctx, j)
+	result, simNS, err := e.runContained(ctx, j)
 	wall := time.Since(j.started).Nanoseconds()
 
 	e.reg.mu.Lock()
@@ -349,6 +411,11 @@ func (e *Engine) execute(j *Job) {
 		kc.completed.Add(1)
 		e.ctr.runWallNS.Add(wall)
 		e.ctr.runSimulatedNS.Add(simNS)
+	case errors.Is(err, ErrRunPanicked):
+		j.State = StateFailed
+		j.errMsg = err.Error()
+		kc.panicked.Add(1)
+		kc.failed.Add(1)
 	case e.runTimeout > 0 && errors.Is(err, context.DeadlineExceeded):
 		j.State = StateFailed
 		j.errMsg = fmt.Sprintf("%v (exceeded %v)", ErrRunTimeout, e.runTimeout)
@@ -366,6 +433,37 @@ func (e *Engine) execute(j *Job) {
 	e.reg.markTerminalLocked(j, time.Now())
 	close(j.done)
 	e.reg.mu.Unlock()
+}
+
+// runContained wraps one job's work in panic containment and the
+// fault-injection sites. A panic anywhere in the work function — the
+// simulation, the experiment, result serialization, or an injected
+// fault — is recovered on this worker and converted into a PanicError
+// carrying the stack; the worker goroutine, the engine, and every other
+// in-flight job are unaffected. This is the boundary that keeps one
+// poisoned request from taking the daemon down, the service-layer
+// mirror of HoPP's own rule that the fault path must survive a
+// misbehaving prefetch path.
+func (e *Engine) runContained(ctx context.Context, j *Job) (result []byte, simNS int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			e.logf("job %s (%s) panicked: %v\n%s", j.ID, j.Kind, r, stack)
+			err = &PanicError{Value: r, Stack: stack}
+			result, simNS = nil, 0
+		}
+	}()
+	if e.faults.Hit(faults.SiteRunPanic) {
+		panic(fmt.Sprintf("injected panic at %s", faults.SiteRunPanic))
+	}
+	if e.faults.Hit(faults.SiteRunSlow) {
+		// Parked, not sleeping: the job stays "slow" until the test
+		// opens the gate or the job's deadline/cancel fires.
+		if gerr := e.faults.Gate(faults.SiteRunSlow).Wait(ctx); gerr != nil {
+			return nil, 0, gerr
+		}
+	}
+	return e.executeKind(ctx, j)
 }
 
 // executeKind dispatches a running job to its kind's work function and
@@ -618,17 +716,56 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	s.CatalogSystems = NumSystems()
 	s.RegistryEvictions = e.reg.evictions.Load()
 	s.JournalWrites = e.reg.jwrites.Load()
-	s.JournalErrors = e.reg.jerrors.Load()
+	s.JournalWriteErrors = e.reg.jerrors.Load()
+	s.JournalLastWriteFailed = e.reg.jdegraded.Load()
 	e.reg.mu.Lock()
 	s.RegistrySize = e.reg.sizeLocked()
+	s.JournalReplayed = e.replayed
 	e.reg.mu.Unlock()
 	return s
 }
 
+// Health levels reported by Engine.Health. Degraded is still HTTP 200 —
+// the daemon is serving — but load balancers reading /healthz should
+// start shedding before saturation turns into hard 429s.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
+// Health is the /healthz payload.
+type Health struct {
+	Status string `json:"status"`
+	// Reasons lists why the daemon is degraded, in a fixed order (queue
+	// saturation first, then journal); empty when ok.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports ok, or degraded when the queue is at ≥90% of its bound
+// or the most recent journal append failed. Both conditions clear
+// themselves: the queue by draining, the journal by the next successful
+// write.
+func (e *Engine) Health() Health {
+	var reasons []string
+	if limit := e.pool.MaxQueue(); limit > 0 {
+		if depth := e.pool.QueueDepth(); depth*10 >= limit*9 {
+			reasons = append(reasons, fmt.Sprintf("queue depth %d at >=90%% of bound %d", depth, limit))
+		}
+	}
+	if e.reg.jdegraded.Load() {
+		reasons = append(reasons, "last journal write failed")
+	}
+	if len(reasons) > 0 {
+		return Health{Status: HealthDegraded, Reasons: reasons}
+	}
+	return Health{Status: HealthOK}
+}
+
 // Shutdown stops accepting work and drains the pool: queued and running
 // jobs complete normally. If ctx expires first, in-flight work is
-// cancelled and Shutdown waits for it to unwind before returning
-// ctx.Err().
+// cancelled and Shutdown still waits for it to unwind — the pool's
+// worker goroutines are always reaped, leak-free, before the typed
+// ErrDrainIncomplete (wrapping ctx.Err()) is returned.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.reg.mu.Lock()
 	e.closed = true
@@ -645,7 +782,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		e.baseCancel()
 		<-drained
-		return ctx.Err()
+		return fmt.Errorf("%w: %w", ErrDrainIncomplete, ctx.Err())
 	}
 }
 

@@ -4,9 +4,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 )
+
+// HandlerConfig carries the optional HTTP-layer collaborators. The
+// zero value is valid: no limiter means every submission is admitted
+// straight to the engine's own queue bound.
+type HandlerConfig struct {
+	// Limiter, when non-nil, applies per-client fairness in front of the
+	// shared queue: each submit route spends one token from the caller's
+	// bucket (keyed by X-API-Key, else the remote address) and answers
+	// 429 + Retry-After when the bucket is dry.
+	Limiter *ClientLimiter
+}
 
 // NewHandler builds the daemon's HTTP API over one engine:
 //
@@ -23,7 +35,7 @@ import (
 //	                                  GET /v1/runs/{id} like any other job
 //	POST   /v1/experiments/{id}       legacy streaming form: submits the same
 //	                                  job and streams its rendered text
-//	GET    /healthz                   liveness
+//	GET    /healthz                   liveness; "ok" or "degraded" (both 200)
 //	GET    /metrics                   per-kind jobs_* counters + gauges
 //
 // Sim and experiment submissions are instances of one Job lifecycle:
@@ -31,18 +43,33 @@ import (
 // retention, and /metrics accounting. The handler is cmd/hoppd's entire
 // surface; it lives here so httptest exercises exactly what the daemon
 // serves.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine) http.Handler { return NewHandlerWith(e, HandlerConfig{}) }
+
+// NewHandlerWith is NewHandler plus the optional HTTP-layer
+// collaborators in cfg (per-client admission today).
+func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
+	limiter := cfg.Limiter
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Degraded is still 200: the daemon is alive and serving; the
+		// body tells orchestrators to look before traffic worsens it.
+		writeJSON(w, http.StatusOK, e.Health())
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Metrics())
+		m := e.Metrics()
+		if limiter != nil {
+			adm := limiter.Snapshot()
+			m.Admission = &adm
+		}
+		writeJSON(w, http.StatusOK, m)
 	})
 
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		if !admit(w, r, e, limiter) {
+			return
+		}
 		var req RunRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -87,6 +114,9 @@ func NewHandler(e *Engine) http.Handler {
 	// GET /v1/runs/{id} — the exact lifecycle sim runs have, including
 	// 429 under -max-queue and 404 after retention.
 	mux.HandleFunc("POST /v1/experiments/{id}/runs", func(w http.ResponseWriter, r *http.Request) {
+		if !admit(w, r, e, limiter) {
+			return
+		}
 		req, ok := experimentRequest(w, r)
 		if !ok {
 			return
@@ -100,6 +130,9 @@ func NewHandler(e *Engine) http.Handler {
 	// job's Output; the admission control is identical too, so an
 	// overloaded engine answers 429 here as well.
 	mux.HandleFunc("POST /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !admit(w, r, e, limiter) {
+			return
+		}
 		req, ok := experimentRequest(w, r)
 		if !ok {
 			return
@@ -133,6 +166,33 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	return mux
+}
+
+// admit runs the per-client fairness check for a submit route. When
+// the caller's bucket is dry it writes 429 + Retry-After (the same
+// adaptive hint queue overload uses) and reports false; a nil limiter
+// admits everything.
+func admit(w http.ResponseWriter, r *http.Request, e *Engine, limiter *ClientLimiter) bool {
+	if limiter.Allow(clientKey(r)) {
+		return true
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, ErrClientLimited)
+	return false
+}
+
+// clientKey identifies the submitting client for fairness accounting:
+// X-API-Key when the client presents one, else the remote host (port
+// stripped, so one client's connections share one bucket).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
 }
 
 // experimentRequest parses the {id} path element and seed/quick query
@@ -191,7 +251,7 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotCancellable):
 		return http.StatusConflict
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClientLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable

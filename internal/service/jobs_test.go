@@ -27,8 +27,13 @@ func expReq(seed int64) ExperimentRequest {
 	return ExperimentRequest{Experiment: "fig9", Seed: seed, Quick: true}
 }
 
-// fakeTables is a runExp stub returning a fixed render instantly.
+// fakeTables is a runExp stub returning a fixed render instantly. It
+// ticks Progress once so tests see the gauge move (and replay tests
+// catch a progress count dropped on the journal round-trip).
 func fakeTables(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
+	if opts.Progress != nil {
+		opts.Progress()
+	}
 	return []experiments.Table{{Title: "fake " + exp.ID, Header: []string{"x"}, Rows: [][]string{{"1"}}}}, nil
 }
 
@@ -342,9 +347,11 @@ func TestLegacyExperimentEndpointByteStable(t *testing.T) {
 	}
 }
 
-// Evicted terminal jobs of both kinds land in the journal, and replaying
-// the JSONL stream reconstructs what ran: IDs, kinds, states, and
-// payloads — the audit trail behind the bounded registry.
+// Terminal jobs of both kinds land in the journal the moment they
+// finish — not at eviction — and replaying the JSONL stream
+// reconstructs what ran: IDs, kinds, states, and payloads. Eviction
+// afterwards is pure memory management; a crash between finish and
+// eviction loses nothing.
 func TestJournalReplayAfterEviction(t *testing.T) {
 	var buf syncBuffer
 	e := newTestEngine(t, Options{Workers: 1, RetainRuns: 1, Journal: NewJournal(&buf)})
@@ -367,13 +374,13 @@ func TestJournalReplayAfterEviction(t *testing.T) {
 	}
 	waitDone(t, e, last.ID) // evicts the experiment job
 
-	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.JournalWrites == 2 })
+	waitCounters(t, e, func(m MetricsSnapshot) bool { return m.JournalWrites == 3 })
 	entries, err := ReadJournal(buf.reader())
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	if len(entries) != 2 {
-		t.Fatalf("journal has %d entries, want 2 (evictions so far)", len(entries))
+	if len(entries) != 3 {
+		t.Fatalf("journal has %d entries, want 3 (every terminal job)", len(entries))
 	}
 	se, xe := entries[0], entries[1]
 	if se.ID != simSt.ID || se.Kind != KindSim || se.State != StateDone {
@@ -391,8 +398,14 @@ func TestJournalReplayAfterEviction(t *testing.T) {
 	if se.SubmittedUnixNS == 0 || se.FinishedUnixNS < se.SubmittedUnixNS {
 		t.Fatalf("sim entry timestamps = %d/%d", se.SubmittedUnixNS, se.FinishedUnixNS)
 	}
-	if m := e.Metrics(); m.JournalErrors != 0 {
-		t.Fatalf("journal_errors = %d, want 0", m.JournalErrors)
+	if len(se.Metrics) == 0 {
+		t.Fatal("done sim entry carries no Metrics bytes; replay could not warm the cache")
+	}
+	if xe.Output == "" {
+		t.Fatal("done experiment entry carries no Output; replay could not warm the cache")
+	}
+	if m := e.Metrics(); m.JournalWriteErrors != 0 {
+		t.Fatalf("journal_write_errors = %d, want 0", m.JournalWriteErrors)
 	}
 }
 

@@ -6,15 +6,19 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"hopp/internal/faults"
 )
 
 // JournalEntry is one line of the append-only run journal: the terminal
-// snapshot of a job at the moment retention evicted it from the
-// registry. The registry is a bounded window (evicted IDs answer 404);
-// the journal is the unbounded-on-disk audit trail behind that window.
-// Result bytes are deliberately absent — the journal records what ran
-// and how it ended, not the payloads, so a year of traffic stays
-// greppable.
+// snapshot of a job, written the moment it reaches a terminal state.
+// The registry is a bounded window (evicted IDs answer 404); the
+// journal is the on-disk record behind that window — and, since it now
+// carries the serialized result, the recovery source `-journal-replay`
+// repopulates the cache and registry from after a restart. Entries
+// without result fields (the pre-replay format, or failed/cancelled
+// jobs) still replay as registry entries; they just cannot warm the
+// cache.
 type JournalEntry struct {
 	ID    string   `json:"id"`
 	Kind  JobKind  `json:"kind"`
@@ -25,8 +29,11 @@ type JournalEntry struct {
 	System   string   `json:"system,omitempty"`
 	Frac     *float64 `json:"frac,omitempty"`
 
-	// Experiment-job field.
+	// Experiment-job fields: the experiment ID and the final progress
+	// gauge (simulations completed), preserved so a replayed job's
+	// status is byte-identical to the pre-restart response.
 	Experiment string `json:"experiment,omitempty"`
+	Progress   int64  `json:"progress,omitempty"`
 
 	Seed   int64  `json:"seed"`
 	Quick  bool   `json:"quick,omitempty"`
@@ -37,6 +44,13 @@ type JournalEntry struct {
 
 	SubmittedUnixNS int64 `json:"submitted_unix_ns"`
 	FinishedUnixNS  int64 `json:"finished_unix_ns"`
+
+	// Metrics carries a done sim job's serialized sim.Metrics verbatim;
+	// Output a done experiment job's rendered table text. These are what
+	// make a journal line replayable: the bytes land back in the result
+	// cache, so a restarted daemon serves the identical response.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Output  string          `json:"output,omitempty"`
 }
 
 // journalEntry snapshots a terminal job for the journal; the caller
@@ -62,8 +76,17 @@ func journalEntry(j *Job) JournalEntry {
 		e.Quick = j.Sim.Quick
 	case j.Exp != nil:
 		e.Experiment = j.Exp.Experiment
+		e.Progress = j.progress.Load()
 		e.Seed = j.Exp.Seed
 		e.Quick = j.Exp.Quick
+	}
+	if j.State == StateDone {
+		switch j.Kind {
+		case KindSim:
+			e.Metrics = j.Result
+		case KindExperiment:
+			e.Output = string(j.Result)
+		}
 	}
 	return e
 }
@@ -78,6 +101,8 @@ type Journal struct {
 	w      io.Writer
 	flush  func() error
 	closer io.Closer // nil when the journal doesn't own its sink
+
+	inject *faults.Injector // optional; fails appends on demand in tests
 }
 
 // OpenJournal opens (creating if needed) an append-only journal file.
@@ -98,10 +123,22 @@ func NewJournal(w io.Writer) *Journal {
 	return &Journal{w: w, flush: func() error { return nil }}
 }
 
+// SetInjector threads a fault injector into the journal; appends then
+// fail with a typed injected error whenever faults.SiteJournalAppend
+// fires. A nil injector (the default) is free.
+func (j *Journal) SetInjector(in *faults.Injector) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.inject = in
+}
+
 // Append writes one entry as a single JSON line.
 func (j *Journal) Append(e JournalEntry) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.inject.ErrAt(faults.SiteJournalAppend); err != nil {
+		return err
+	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		return err

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// pinnedClock is an injectable limiter clock tests advance by hand, so
+// refill arithmetic is exact instead of sleep-calibrated.
+type pinnedClock struct{ at time.Time }
+
+func (c *pinnedClock) now() time.Time          { return c.at }
+func (c *pinnedClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+
+func newPinnedLimiter(rate, burst float64, maxClients int) (*ClientLimiter, *pinnedClock) {
+	clk := &pinnedClock{at: time.Unix(1000, 0)}
+	l := NewClientLimiter(rate, burst, maxClients)
+	l.now = clk.now
+	return l, clk
+}
+
+// Token-bucket arithmetic under a pinned clock: a fresh client gets its
+// full burst, then exactly rate tokens per elapsed second, capped back
+// at burst.
+func TestClientLimiterRefill(t *testing.T) {
+	l, clk := newPinnedLimiter(1, 2, 0)
+	for i := 0; i < 2; i++ {
+		if !l.Allow("a") {
+			t.Fatalf("burst allowance request %d denied", i+1)
+		}
+	}
+	if l.Allow("a") {
+		t.Fatal("request past burst admitted with no time elapsed")
+	}
+	clk.advance(time.Second) // refills exactly one token at rate=1
+	if !l.Allow("a") {
+		t.Fatal("refilled token denied")
+	}
+	if l.Allow("a") {
+		t.Fatal("second request admitted off a single refilled token")
+	}
+	clk.advance(time.Hour) // cap at burst, not rate*3600
+	for i := 0; i < 2; i++ {
+		if !l.Allow("a") {
+			t.Fatalf("post-idle request %d denied; refill must cap at burst, not vanish", i+1)
+		}
+	}
+	if l.Allow("a") {
+		t.Fatal("idle refill exceeded burst cap")
+	}
+
+	s := l.Snapshot()
+	if s.Admitted != 5 || s.Limited != 3 || s.Clients != 1 {
+		t.Fatalf("snapshot = %+v, want admitted=5 limited=3 clients=1", s)
+	}
+	if pc := s.PerClient["a"]; pc.Admitted != 5 || pc.Limited != 3 {
+		t.Fatalf("per-client = %+v, want admitted=5 limited=3", pc)
+	}
+}
+
+// One client's exhaustion is invisible to another: buckets are
+// independent by construction.
+func TestClientLimiterIsolation(t *testing.T) {
+	l, _ := newPinnedLimiter(0, 1, 0) // rate 0: burst is all you get
+	if !l.Allow("hog") {
+		t.Fatal("hog's first request denied")
+	}
+	for i := 0; i < 3; i++ {
+		if l.Allow("hog") {
+			t.Fatal("hog admitted past its burst")
+		}
+	}
+	if !l.Allow("polite") {
+		t.Fatal("polite client denied because of the hog's traffic")
+	}
+}
+
+// Past the tracked-clients bound the stalest bucket is recycled, and a
+// recycled client returns to a full burst — strictly more permissive.
+func TestClientLimiterEvictsStalest(t *testing.T) {
+	l, clk := newPinnedLimiter(0, 1, 2)
+	l.Allow("old")
+	clk.advance(time.Second)
+	l.Allow("mid")
+	clk.advance(time.Second)
+	l.Allow("new") // third client: "old" (stalest) is recycled
+	s := l.Snapshot()
+	if s.Clients != 2 {
+		t.Fatalf("tracked clients = %d, want 2 (bound)", s.Clients)
+	}
+	if _, ok := s.PerClient["old"]; ok {
+		t.Fatal("stalest client still tracked past the bound")
+	}
+	if !l.Allow("old") {
+		t.Fatal("recycled client denied; eviction must reset to a full burst")
+	}
+}
+
+// A nil limiter admits everything and snapshots to zero — the daemon's
+// default when -client-rate is off.
+func TestClientLimiterNil(t *testing.T) {
+	var l *ClientLimiter
+	if !l.Allow("anyone") {
+		t.Fatal("nil limiter denied")
+	}
+	if s := l.Snapshot(); s.Admitted != 0 || s.Limited != 0 || s.Clients != 0 || s.PerClient != nil {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+// The fairness acceptance test over real HTTP: a flooding client burns
+// through its own bucket and collects 429s (with Retry-After), while a
+// second client submitting through the same saturated period is
+// admitted every time. /metrics exposes the per-client accounting.
+func TestHTTPPerClientFairness(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	e.runSim = instantSim
+	limiter, _ := newPinnedLimiter(0, 3, 0) // no refill: 3 submissions per client, period
+	srv := httptest.NewServer(NewHandlerWith(e, HandlerConfig{Limiter: limiter}))
+	t.Cleanup(srv.Close)
+
+	flood := func(seed int64) *http.Response { return postRunAs(t, srv.URL, "flood", seedReq(seed)) }
+	slow := func(seed int64) *http.Response { return postRunAs(t, srv.URL, "slow", seedReq(seed)) }
+
+	var floodAdmitted, floodLimited int
+	for seed := int64(1); seed <= 6; seed++ {
+		resp := flood(seed)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			floodAdmitted++
+		case http.StatusTooManyRequests:
+			floodLimited++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			var body map[string]string
+			if err := jsonDecode(resp, &body); err != nil {
+				t.Fatal(err)
+			}
+			if body["error"] != ErrClientLimited.Error() {
+				t.Fatalf("429 body = %q, want ErrClientLimited", body["error"])
+			}
+			continue
+		default:
+			t.Fatalf("flood submission = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if floodAdmitted != 3 || floodLimited != 3 {
+		t.Fatalf("flooder admitted/limited = %d/%d, want 3/3", floodAdmitted, floodLimited)
+	}
+
+	// The well-behaved client submits while the flooder is fully limited:
+	// every one of its requests must go through.
+	for seed := int64(101); seed <= 103; seed++ {
+		resp := slow(seed)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("slow client submission = %d while flooder limited, want 202", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.Admission == nil {
+		t.Fatal("/metrics missing admission block with a limiter configured")
+	}
+	if m.Admission.Admitted != 6 || m.Admission.Limited != 3 {
+		t.Fatalf("admission totals = %+v, want admitted=6 limited=3", m.Admission)
+	}
+	if pc := m.Admission.PerClient["key:flood"]; pc.Limited != 3 {
+		t.Fatalf("flooder per-client = %+v, want limited=3", pc)
+	}
+	if pc := m.Admission.PerClient["key:slow"]; pc.Admitted != 3 || pc.Limited != 0 {
+		t.Fatalf("slow per-client = %+v, want admitted=3 limited=0", pc)
+	}
+}
+
+// Shed submissions never reach the engine: no registry entry, no
+// jobs_* movement — the fairness layer sits wholly in front.
+func TestLimitedSubmissionLeavesNoTrace(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	e.runSim = instantSim
+	e.runExp = fakeTables
+	limiter, _ := newPinnedLimiter(0, 1, 0)
+	srv := httptest.NewServer(NewHandlerWith(e, HandlerConfig{Limiter: limiter}))
+	t.Cleanup(srv.Close)
+
+	resp := postRunAs(t, srv.URL, "c", seedReq(1))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission = %d", resp.StatusCode)
+	}
+	resp = postRunAs(t, srv.URL, "c", seedReq(2))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submission = %d, want 429", resp.StatusCode)
+	}
+	if kc := e.Metrics().Jobs[KindSim]; kc.Submitted != 1 || kc.Rejected != 0 {
+		t.Fatalf("engine counters = %+v; a client-limited submission must not touch the engine", kc)
+	}
+
+	// Experiment routes sit behind the same gate.
+	resp, err := http.Post(srv.URL+"/v1/experiments/fig9/runs?quick=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		// Different key (no header → remote addr), so this one is NOT
+		// limited — it proves keying, not leakage.
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("experiment submission = %d", resp.StatusCode)
+		}
+	}
+}
+
+// postRunAs is postRun with an X-API-Key header identifying the client,
+// returning the raw response (body open) for status/header checks.
+func postRunAs(t *testing.T, base, apiKey string, req RunRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, base+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("X-API-Key", apiKey)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

@@ -13,6 +13,7 @@ type kindCounters struct {
 	cancelled atomic.Uint64
 	rejected  atomic.Uint64 // fail-fast admission rejections (429s)
 	timedOut  atomic.Uint64 // subset of failed that hit -run-timeout
+	panicked  atomic.Uint64 // subset of failed whose work function panicked
 }
 
 // counters are the engine's expvar-style runtime counters: a
@@ -53,7 +54,9 @@ func (c *counters) completedTotal() uint64 {
 // JobCounters is the externally visible snapshot of one kind's
 // lifecycle counters. Rejected counts submissions shed by admission
 // control (HTTP 429); they never entered the registry. TimedOut is the
-// subset of Failed that exceeded the per-run deadline.
+// subset of Failed that exceeded the per-run deadline; Panicked the
+// subset whose work function panicked (contained on the worker — the
+// daemon and its other jobs kept running).
 type JobCounters struct {
 	Submitted uint64 `json:"submitted"`
 	Started   uint64 `json:"started"`
@@ -62,6 +65,7 @@ type JobCounters struct {
 	Cancelled uint64 `json:"cancelled"`
 	Rejected  uint64 `json:"rejected"`
 	TimedOut  uint64 `json:"timed_out"`
+	Panicked  uint64 `json:"panicked"`
 }
 
 // MetricsSnapshot is the /metrics payload: a point-in-time copy of
@@ -71,6 +75,12 @@ type JobCounters struct {
 type MetricsSnapshot struct {
 	Jobs map[JobKind]JobCounters `json:"jobs"`
 
+	// Admission is the per-client fairness layer's snapshot, present
+	// only when the daemon runs with a ClientLimiter (-client-rate). It
+	// is filled by the HTTP layer, which owns the limiter — the engine
+	// never sees shed submissions.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
+
 	// RegistrySize is the live job-registry gauge covering both kinds;
 	// RegistryEvictions counts terminal jobs dropped by the retention
 	// policy (their IDs answer 404 afterwards). RetainRuns echoes the
@@ -79,12 +89,17 @@ type MetricsSnapshot struct {
 	RegistryEvictions uint64 `json:"registry_evictions"`
 	RetainRuns        int    `json:"retain_runs"`
 
-	// JournalWrites counts evicted jobs appended to the -journal file;
-	// JournalErrors counts appends that failed (the eviction proceeds
-	// regardless — the registry bound is load-bearing, the audit trail
-	// is best-effort).
-	JournalWrites uint64 `json:"journal_writes"`
-	JournalErrors uint64 `json:"journal_errors"`
+	// JournalWrites counts terminal jobs appended to the -journal file;
+	// JournalWriteErrors counts appends that failed (the job and any
+	// eviction proceed regardless — the registry bound is load-bearing,
+	// the audit trail is best-effort). JournalLastWriteFailed mirrors
+	// the /healthz degraded signal: true from a failed append until the
+	// next successful one. JournalReplayed counts entries
+	// `-journal-replay` recovered into the registry/cache at startup.
+	JournalWrites          uint64 `json:"journal_writes"`
+	JournalWriteErrors     uint64 `json:"journal_write_errors"`
+	JournalLastWriteFailed bool   `json:"journal_last_write_failed"`
+	JournalReplayed        int    `json:"journal_replayed"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -129,6 +144,7 @@ func (c *counters) snapshot() MetricsSnapshot {
 			Cancelled: kc.cancelled.Load(),
 			Rejected:  kc.rejected.Load(),
 			TimedOut:  kc.timedOut.Load(),
+			Panicked:  kc.panicked.Load(),
 		}
 	}
 	return MetricsSnapshot{

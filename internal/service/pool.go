@@ -24,6 +24,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+
+	"hopp/internal/faults"
 )
 
 // Pool errors.
@@ -51,6 +53,8 @@ type Pool struct {
 	workers  int
 	maxQueue int // 0 = unbounded
 	wg       sync.WaitGroup
+
+	inject *faults.Injector // optional; rejects submissions on demand in tests
 }
 
 // NewPool starts a pool of n workers with an unbounded queue; n <= 0
@@ -76,6 +80,15 @@ func NewPoolWithQueue(n, maxQueue int) *Pool {
 	return p
 }
 
+// setInjector threads a fault injector into the pool; submissions then
+// fail with ErrQueueFull whenever faults.SitePoolSubmit fires —
+// saturation on demand, no real backlog needed.
+func (p *Pool) setInjector(in *faults.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inject = in
+}
+
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
@@ -90,6 +103,9 @@ func (p *Pool) Submit(job func()) error {
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrPoolClosed
+	}
+	if p.inject.Hit(faults.SitePoolSubmit) {
+		return ErrQueueFull
 	}
 	if p.maxQueue > 0 && len(p.queue) >= p.maxQueue {
 		return ErrQueueFull

@@ -2,6 +2,8 @@ package service
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,14 +95,24 @@ type registry struct {
 	nextID int
 
 	evictions atomic.Uint64
-	journal   *Journal // optional; terminal jobs are journaled on eviction
+	journal   *Journal // optional; jobs are journaled on terminal transition
 	jwrites   atomic.Uint64
 	jerrors   atomic.Uint64
+	// jdegraded mirrors "the most recent journal append failed" for the
+	// /healthz degraded signal; set on error, cleared by the next
+	// successful append. Atomic so health checks read it without reg.mu.
+	jdegraded atomic.Bool
+	// jerrBurst suppresses repeat logging inside one error burst: the
+	// first failed append after a success logs, later failures stay
+	// silent until a write succeeds again. Guarded by reg.mu.
+	jerrBurst bool
+	logf      func(format string, args ...any)
 }
 
 // newRegistry builds a registry bounded by retain entries and retainAge
-// of terminal-job age (<= 0 disables the age bound). journal may be nil.
-func newRegistry(retain int, retainAge time.Duration, journal *Journal) *registry {
+// of terminal-job age (<= 0 disables the age bound). journal may be
+// nil; logf must not be.
+func newRegistry(retain int, retainAge time.Duration, journal *Journal, logf func(format string, args ...any)) *registry {
 	if retain <= 0 {
 		retain = DefaultRetainRuns
 	}
@@ -109,6 +121,7 @@ func newRegistry(retain int, retainAge time.Duration, journal *Journal) *registr
 		retainAge: retainAge,
 		jobs:      make(map[string]*Job),
 		journal:   journal,
+		logf:      logf,
 	}
 }
 
@@ -127,6 +140,38 @@ func (g *registry) addLocked(j *Job) {
 // share one ID space (r000042), so GET /v1/runs/{id} is kind-agnostic.
 func jobID(n int) string { return fmt.Sprintf("r%06d", n) }
 
+// jobIDNum parses a jobID back to its sequence number; replay uses it
+// to advance nextID past recovered IDs so fresh submissions never
+// collide with journaled history.
+func jobIDNum(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "r")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// restoreLocked re-admits a journaled terminal job during replay:
+// original ID, born terminal, done channel already closed, and — the
+// load-bearing difference from markTerminalLocked — never re-journaled
+// (its entry is already on disk). A duplicate ID overwrites the earlier
+// replayed job in place (later journal lines are newer truth) without
+// growing order/term. reg.mu must be held.
+func (g *registry) restoreLocked(j *Job) {
+	if n, ok := jobIDNum(j.ID); ok && n > g.nextID {
+		g.nextID = n
+	}
+	if _, exists := g.jobs[j.ID]; !exists {
+		g.order = append(g.order, j.ID)
+		g.term = append(g.term, j.ID)
+	}
+	g.jobs[j.ID] = j
+}
+
 // getLocked looks a job up; reg.mu must be held.
 func (g *registry) getLocked(id string) (*Job, bool) {
 	j, ok := g.jobs[id]
@@ -136,22 +181,52 @@ func (g *registry) getLocked(id string) (*Job, bool) {
 // sizeLocked reports the live job count; reg.mu must be held.
 func (g *registry) sizeLocked() int { return len(g.jobs) }
 
-// markTerminalLocked records a job's transition into a terminal state
-// and evicts the oldest terminal jobs past the retention bounds; reg.mu
-// must be held. Every path that finishes a job goes through here, which
-// is what keeps the registry O(retention + in-flight) instead of
-// O(total submissions).
+// markTerminalLocked records a job's transition into a terminal state,
+// journals it, and evicts the oldest terminal jobs past the retention
+// bounds; reg.mu must be held. Every path that finishes a job goes
+// through here, which is what keeps the registry O(retention +
+// in-flight) instead of O(total submissions). Journaling happens at the
+// terminal transition — not at eviction — so a crash between finish and
+// eviction loses nothing and `-journal-replay` can rebuild the full
+// terminal history.
 func (g *registry) markTerminalLocked(j *Job, now time.Time) {
 	j.finished = now
 	g.term = append(g.term, j.ID)
+	g.journalLocked(j)
 	g.evictLocked(now)
+}
+
+// journalLocked appends one terminal job to the journal, best-effort:
+// an append error counts in journal_write_errors and logs once per
+// error burst, but never fails the job or blocks eviction — the
+// registry bound is load-bearing, the audit trail is not. reg.mu must
+// be held.
+func (g *registry) journalLocked(j *Job) {
+	if g.journal == nil {
+		return
+	}
+	if err := g.journal.Append(journalEntry(j)); err != nil {
+		g.jerrors.Add(1)
+		g.jdegraded.Store(true)
+		if !g.jerrBurst {
+			g.jerrBurst = true
+			g.logf("journal append failed for job %s: %v (suppressing repeats until a write succeeds)", j.ID, err)
+		}
+		return
+	}
+	g.jwrites.Add(1)
+	g.jdegraded.Store(false)
+	if g.jerrBurst {
+		g.jerrBurst = false
+		g.logf("journal append recovered at job %s", j.ID)
+	}
 }
 
 // evictLocked drops terminal jobs beyond the retention count or older
 // than the retention age; reg.mu must be held. g.term is ordered by
-// finish time, so eviction only ever pops from its front. Evicted jobs
-// are appended to the journal (when one is configured) on their way
-// out — the registry stays bounded, the audit trail does not. The
+// finish time, so eviction only ever pops from its front. Eviction is
+// pure memory management: the evicted job was already journaled when it
+// went terminal, so nothing is written on the way out. The
 // submission-order slice is compacted lazily once evicted IDs dominate
 // it, keeping both structures bounded without an O(n) scan per eviction.
 func (g *registry) evictLocked(now time.Time) {
@@ -162,13 +237,6 @@ func (g *registry) evictLocked(now time.Time) {
 		overAge := g.retainAge > 0 && now.Sub(g.jobs[id].finished) > g.retainAge
 		if !overCount && !overAge {
 			break
-		}
-		if g.journal != nil {
-			if err := g.journal.Append(journalEntry(g.jobs[id])); err != nil {
-				g.jerrors.Add(1)
-			} else {
-				g.jwrites.Add(1)
-			}
 		}
 		delete(g.jobs, id)
 		n++

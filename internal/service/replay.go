@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// ReplayStats reports what a journal replay did: Recovered entries
+// landed back in the registry (and, for done jobs with result bytes,
+// the cache); Skipped entries were well-formed JSON the current build
+// could not restore (bad ID, catalog drift, non-terminal state);
+// Malformed lines did not parse — a torn final line from a crash
+// mid-append counts here and is tolerated, never fatal.
+type ReplayStats struct {
+	Recovered int `json:"recovered"`
+	Skipped   int `json:"skipped"`
+	Malformed int `json:"malformed"`
+}
+
+// ReplayJournal reads a JSONL run journal and repopulates the engine
+// from its terminal entries: each entry is restored into the registry
+// under its original ID (born terminal, served by GET /v1/runs/{id}
+// byte-identically to the pre-restart response), and done entries
+// carrying result bytes are put back in the result cache, so a
+// crash/restart cycle serves previously-completed runs from cache
+// instead of recomputing them. Intended at startup, before the engine
+// serves traffic; the registry's retention bounds apply to the restored
+// window exactly as they do to live jobs.
+//
+// Replay is resilient by construction: malformed lines (including the
+// torn final line a crash mid-append leaves behind) are counted and
+// skipped, entries naming workloads/systems/experiments this build's
+// catalog no longer has are counted and skipped, and a duplicate ID
+// keeps the later entry. The returned error is only ever a read error
+// from r itself.
+func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
+	var stats ReplayStats
+	sc := bufio.NewScanner(r)
+	// Journal lines carry whole serialized results; size the line buffer
+	// for rendered experiment tables, not just sim metrics.
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	now := time.Now()
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var entry JournalEntry
+		if err := json.Unmarshal(line, &entry); err != nil {
+			stats.Malformed++
+			continue
+		}
+		j, ok := e.jobFromEntry(entry)
+		if !ok {
+			stats.Skipped++
+			continue
+		}
+		e.reg.mu.Lock()
+		e.reg.restoreLocked(j)
+		if j.State == StateDone && len(j.Result) > 0 {
+			e.cache.Put(j.key, j.Result, j.simNS)
+		}
+		e.replayed++
+		e.reg.mu.Unlock()
+		stats.Recovered++
+	}
+	// Trim the restored window to the retention bounds in one pass, with
+	// the journal detached: these jobs are already on disk, re-appending
+	// them would duplicate the trail.
+	e.reg.mu.Lock()
+	e.reg.evictLocked(now)
+	e.reg.mu.Unlock()
+	return stats, sc.Err()
+}
+
+// ReplayJournalFile replays a journal file from disk. A missing file is
+// a clean first boot, not an error.
+func (e *Engine) ReplayJournalFile(path string) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ReplayStats{}, nil
+		}
+		return ReplayStats{}, err
+	}
+	defer f.Close()
+	return e.ReplayJournal(f)
+}
+
+// jobFromEntry rebuilds a terminal Job from one journal entry,
+// revalidating the payload against the current catalog so the restored
+// cache key is exactly the one a live submission of the same request
+// would compute. Reports !ok for entries this build cannot restore.
+func (e *Engine) jobFromEntry(entry JournalEntry) (*Job, bool) {
+	if !entry.State.Terminal() {
+		return nil, false
+	}
+	if _, ok := jobIDNum(entry.ID); !ok {
+		return nil, false
+	}
+	j := &Job{
+		ID:        entry.ID,
+		Kind:      entry.Kind,
+		State:     entry.State,
+		cached:    entry.Cached,
+		submitted: time.Unix(0, entry.SubmittedUnixNS),
+		wallNS:    entry.WallNS,
+		simNS:     entry.SimNS,
+		errMsg:    entry.Error,
+		done:      make(chan struct{}),
+	}
+	j.finished = time.Unix(0, entry.FinishedUnixNS)
+	close(j.done) // born terminal: Wait returns immediately
+	switch entry.Kind {
+	case KindSim:
+		norm, key, err := RunRequest{
+			Workload: entry.Workload,
+			System:   entry.System,
+			Frac:     entry.Frac,
+			Seed:     entry.Seed,
+			Quick:    entry.Quick,
+		}.Normalize()
+		if err != nil {
+			return nil, false // catalog drift: this build can't serve it
+		}
+		j.Sim = &norm
+		j.key = key
+		j.Result = entry.Metrics
+	case KindExperiment:
+		norm, key, err := ExperimentRequest{
+			Experiment: entry.Experiment,
+			Seed:       entry.Seed,
+			Quick:      entry.Quick,
+		}.Normalize()
+		if err != nil {
+			return nil, false
+		}
+		j.Exp = &norm
+		j.key = key
+		j.progress.Store(entry.Progress)
+		if entry.Output != "" {
+			j.Result = []byte(entry.Output)
+		}
+	default:
+		return nil, false
+	}
+	return j, true
+}

@@ -34,7 +34,10 @@ fi
 echo "== hopplint ./..."
 go run ./cmd/hopplint ./...
 
-echo "== go test -race (service + sim + workload, quick mode)"
-go test -race -count=1 ./internal/service/... ./internal/sim/... ./internal/workload/...
+# internal/faults rides in the race gate alongside the service layer:
+# the fault-injection tests (contained panics, journal write failures,
+# gated slow runs) are exactly the paths where a data race would hide.
+echo "== go test -race (service + faults + sim + workload, quick mode)"
+go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/...
 
 echo "check.sh: OK"
