@@ -1,7 +1,7 @@
 # Convenience targets; the authoritative commands live in ROADMAP.md
 # (tier-1) and scripts/check.sh (quick race-mode gate).
 
-.PHONY: build test check lint loadcheck
+.PHONY: build test check lint loadcheck bench
 
 build:
 	go build ./...
@@ -18,7 +18,14 @@ check:
 	sh scripts/check.sh
 
 # Race-mode pass over the resource-limit surface: sustained-load leak
-# regression, queue backpressure (429), registry eviction (404), and
-# per-run timeouts.
+# regression, queue backpressure (429), registry eviction (404),
+# per-run timeouts, and sweep fan-out fairness (a giant sweep holding
+# only its paced window while other clients' single runs progress).
 loadcheck:
-	go test -race -count=1 -v -run 'SustainedLoad|Overload|Backpressure|Evict|Timeout|429|404' ./internal/service/
+	go test -race -count=1 -v -run 'SustainedLoad|Overload|Backpressure|Evict|Timeout|429|404|Fairness|Sweep' ./internal/service/
+
+# Hot-loop benchmark snapshot into BENCH_hotloop.json (simulator
+# throughput, one experiment regeneration, sweep-vs-individual). The
+# committed file is the baseline to diff against.
+bench:
+	sh scripts/bench.sh

@@ -10,18 +10,28 @@
 //	curl localhost:8080/v1/runs/r000001
 //	curl -XPOST 'localhost:8080/v1/experiments/fig9/runs?quick=true'   # job form: poll /v1/runs/{id}
 //	curl -XPOST 'localhost:8080/v1/experiments/fig9?quick=true'        # legacy streaming form
+//	curl -XPOST localhost:8080/v1/sweeps -d '{"workloads":["npb-mg","npb-cg"],"systems":["hopp","fastswap"],"fracs":[0.25,0.5],"quick":true}'
+//	curl localhost:8080/v1/sweeps/r000042                              # parent aggregate
+//	curl 'localhost:8080/v1/sweeps/r000042/results?follow=true'        # NDJSON, one line per point
 //	curl localhost:8080/metrics
 //
-// Every submission — a workload × system simulation or an experiment
-// regeneration — is one Job in a single shared lifecycle. The daemon is
-// built to run indefinitely under any mix of the two: the job registry
-// retains a bounded window of finished jobs (-retain-runs/-retain-age,
-// evicted IDs answer 404), submissions beyond -max-queue are shed with
-// 429 + Retry-After, each job is capped by -run-timeout, and the HTTP
-// server bounds header/read/idle time so slow clients cannot pin
-// connections. With -client-rate, per-client token buckets (keyed by
-// X-API-Key, else remote address) shed a flooding client's submissions
-// with 429 while everyone else keeps flowing.
+// Every submission — a workload × system simulation, an experiment
+// regeneration, or a sweep — is one Job in a single shared lifecycle.
+// A sweep expands a config grid (bounded by -max-sweep-points) into sim
+// children under one parent job: each distinct workload stream is
+// generated once and shared read-only across the grid, duplicate points
+// (within the sweep, across overlapping sweeps from different clients,
+// or against the result cache) simulate once, and the fan-out is paced
+// to the worker count so a giant sweep cannot starve other clients'
+// single-run submissions. The daemon is built to run indefinitely under
+// any mix of kinds: the job registry retains a bounded window of
+// finished jobs (-retain-runs/-retain-age, evicted IDs answer 404),
+// submissions beyond -max-queue are shed with 429 + Retry-After, each
+// job is capped by -run-timeout, and the HTTP server bounds
+// header/read/idle time so slow clients cannot pin connections. With
+// -client-rate, per-client token buckets (keyed by X-API-Key, else
+// remote address) shed a flooding client's submissions with 429 while
+// everyone else keeps flowing.
 //
 // With -journal every job is appended to an append-only JSONL file the
 // moment it reaches a terminal state, results included; -journal-replay
@@ -70,6 +80,7 @@ func run() error {
 		retainRuns = flag.Int("retain-runs", service.DefaultRetainRuns, "finished jobs kept queryable before eviction (404 afterwards)")
 		retainAge  = flag.Duration("retain-age", time.Hour, "evict finished jobs older than this (0 = no age bound)")
 		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-job wall-clock deadline; timed-out jobs fail (0 = none)")
+		maxSweep   = flag.Int("max-sweep-points", service.DefaultMaxSweepPoints, "max expanded grid points per sweep submission (larger grids get 400)")
 		journal    = flag.String("journal", "", "append terminal jobs (results included) to this JSONL file (empty = no journal)")
 		replay     = flag.Bool("journal-replay", false, "replay the -journal file at startup, repopulating the registry and result cache")
 
@@ -97,12 +108,13 @@ func run() error {
 	// Replay happens against the file BEFORE opening it for append, so
 	// the reader never races the writer's own buffering.
 	engine := service.NewEngine(service.Options{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		MaxQueue:     *maxQueue,
-		RetainRuns:   *retainRuns,
-		RetainAge:    *retainAge,
-		RunTimeout:   *runTimeout,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		MaxQueue:       *maxQueue,
+		RetainRuns:     *retainRuns,
+		RetainAge:      *retainAge,
+		RunTimeout:     *runTimeout,
+		MaxSweepPoints: *maxSweep,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "hoppd: "+format+"\n", args...)
 		},

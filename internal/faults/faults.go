@@ -51,6 +51,19 @@ const (
 	// SiteAdmissionDeny forces the per-client admission limiter to deny,
 	// exercising the 429 path independent of bucket arithmetic.
 	SiteAdmissionDeny = "admission.deny"
+	// SiteHTTPBodyRead fails a request-body read mid-stream with
+	// ErrInjected — the connection that dies (or turns to garbage) while
+	// the daemon is still decoding the submission.
+	SiteHTTPBodyRead = "http.body.read"
+	// SiteHTTPResultsWrite fails a write on the sweep-results NDJSON
+	// stream, exercising the handler's unwind when the client is gone
+	// mid-stream.
+	SiteHTTPResultsWrite = "http.results.write"
+	// SiteHTTPStreamStall parks the sweep-results stream on the site's
+	// Gate — a deterministic slow-reading client. The handler stays
+	// parked until the test opens the gate or the request context ends;
+	// the engine keeps serving everyone else throughout.
+	SiteHTTPStreamStall = "http.stream.stall"
 )
 
 // ErrInjected marks an error manufactured by the injector; production

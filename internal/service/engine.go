@@ -14,6 +14,7 @@ import (
 	"hopp/internal/experiments"
 	"hopp/internal/faults"
 	"hopp/internal/sim"
+	"hopp/internal/workload"
 )
 
 // Engine errors.
@@ -157,6 +158,12 @@ type RunStatus struct {
 	// Output is the rendered table text, present once an experiment job
 	// is done.
 	Output string `json:"output,omitempty"`
+
+	// Parent is the sweep parent's job ID on sweep-child jobs.
+	Parent string `json:"parent,omitempty"`
+	// Sweep is the aggregate fan-out state of a KindSweep job; its
+	// Progress gauge counts settled points.
+	Sweep *SweepStatus `json:"sweep,omitempty"`
 }
 
 // DefaultRetainRuns is the terminal-job retention bound applied when
@@ -184,6 +191,10 @@ type Options struct {
 	// request cannot pin a worker; timed-out jobs land in StateFailed
 	// with ErrRunTimeout. <= 0 disables the deadline.
 	RunTimeout time.Duration
+	// MaxSweepPoints bounds one sweep submission's expanded grid; larger
+	// grids are rejected with ErrSweepTooLarge before touching the
+	// registry. <= 0 means DefaultMaxSweepPoints.
+	MaxSweepPoints int
 	// Journal, when non-nil, receives a JSONL entry for every job the
 	// moment it reaches a terminal state — the audit trail past
 	// -retain-runs and the recovery source for ReplayJournal.
@@ -213,12 +224,29 @@ type Engine struct {
 	ctr   *counters
 	reg   *registry
 
-	runTimeout time.Duration
+	runTimeout     time.Duration
+	maxSweepPoints int
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	closed bool // guarded by reg.mu
+
+	// inflight maps canonical cache keys to the one non-terminal job
+	// currently computing each — the in-flight dedupe index. A sweep
+	// child whose key is already here becomes a follower of that leader
+	// instead of simulating the same point again. Guarded by reg.mu.
+	inflight map[string]*Job
+	// liveSweeps holds non-terminal sweep parents in submission order —
+	// the deterministic iteration set for pacing-window refills (a map
+	// would make refill order depend on hash order). Guarded by reg.mu.
+	liveSweeps []*Job
+	// finishQ/finishing turn terminal-transition cascades (child →
+	// follower → parent → sibling refill) into an iterative worklist:
+	// finishLocked enqueues, the outermost call drains. Guarded by
+	// reg.mu.
+	finishQ   []*Job
+	finishing bool
 
 	logf   func(format string, args ...any)
 	faults *faults.Injector // nil in production
@@ -229,8 +257,9 @@ type Engine struct {
 
 	// Hooks, replaceable in tests to decouple lifecycle tests from
 	// simulation wall time.
-	runSim func(ctx context.Context, req RunRequest) (sim.Metrics, error)
-	runExp func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error)
+	runSim      func(ctx context.Context, req RunRequest) (sim.Metrics, error)
+	runExp      func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error)
+	runSweepSim func(ctx context.Context, req RunRequest, gen workload.Generator) (sim.Metrics, error)
 }
 
 // NewEngine starts an engine; callers must Shutdown (or Close) it.
@@ -242,21 +271,28 @@ func NewEngine(opts Options) *Engine {
 	if opts.Journal != nil && opts.Faults != nil {
 		opts.Journal.SetInjector(opts.Faults)
 	}
+	maxSweep := opts.MaxSweepPoints
+	if maxSweep <= 0 {
+		maxSweep = DefaultMaxSweepPoints
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		pool:       NewPoolWithQueue(opts.Workers, opts.MaxQueue),
-		cache:      newLRUCache(opts.CacheEntries),
-		ctr:        newCounters(),
-		reg:        newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal, logf),
-		runTimeout: opts.RunTimeout,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		logf:       logf,
-		faults:     opts.Faults,
-		runSim:     runSimulation,
+		pool:           NewPoolWithQueue(opts.Workers, opts.MaxQueue),
+		cache:          newLRUCache(opts.CacheEntries),
+		ctr:            newCounters(),
+		reg:            newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal, logf),
+		runTimeout:     opts.RunTimeout,
+		maxSweepPoints: maxSweep,
+		baseCtx:        ctx,
+		baseCancel:     cancel,
+		inflight:       make(map[string]*Job),
+		logf:           logf,
+		faults:         opts.Faults,
+		runSim:         runSimulation,
 		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
 			return exp.Run(ctx, opts)
 		},
+		runSweepSim: runSharedSimulation,
 	}
 	e.pool.setInjector(opts.Faults)
 	return e
@@ -348,7 +384,6 @@ func (e *Engine) submitJob(j *Job) (RunStatus, error) {
 		j.cached = true
 		j.Result = cached
 		j.simNS = cachedSimNS
-		close(j.done)
 		e.ctr.cacheHits.Add(1)
 	} else {
 		// Lock order is reg.mu → pool.mu, taken nowhere in reverse.
@@ -361,13 +396,61 @@ func (e *Engine) submitJob(j *Job) (RunStatus, error) {
 			return RunStatus{}, ErrClosed // pool closed: raced Shutdown
 		}
 		e.ctr.cacheMisses.Add(1)
+		// The admitted job is now the in-flight owner of its key: later
+		// sweep points that normalize to the same simulation follow it
+		// instead of queueing a duplicate.
+		if e.inflight[j.key] == nil {
+			e.inflight[j.key] = j
+		}
 	}
 	e.ctr.kind(j.Kind).submitted.Add(1)
 	e.reg.addLocked(j)
 	if hit {
-		e.reg.markTerminalLocked(j, now)
+		e.finishLocked(j, now)
 	}
 	return e.statusLocked(j), nil
+}
+
+// finishLocked finalizes a job whose terminal State (and Result/errMsg)
+// the caller has just set: registry bookkeeping, journal, done-channel
+// close, in-flight release, follower settlement, and sweep-parent
+// accounting; reg.mu must be held. Terminal transitions cascade — a
+// child's finish can complete its parent, promote a follower, or refill
+// another sweep's window — so the cascade runs as an iterative worklist
+// instead of recursion: nested calls only enqueue, the outermost call
+// drains.
+func (e *Engine) finishLocked(j *Job, now time.Time) {
+	e.finishQ = append(e.finishQ, j)
+	if e.finishing {
+		return
+	}
+	e.finishing = true
+	for len(e.finishQ) > 0 {
+		next := e.finishQ[0]
+		e.finishQ = e.finishQ[1:]
+		e.finishOneLocked(next, now)
+	}
+	e.finishing = false
+}
+
+// finishOneLocked settles exactly one terminal job; reg.mu must be
+// held. Only finishLocked calls it.
+func (e *Engine) finishOneLocked(j *Job, now time.Time) {
+	e.reg.markTerminalLocked(j, now)
+	if !j.doneClosed {
+		j.doneClosed = true
+		close(j.done)
+	}
+	if j.key != "" && e.inflight[j.key] == j {
+		delete(e.inflight, j.key)
+		e.settleFollowersLocked(j, now)
+	}
+	if j.parent != nil {
+		e.sweepChildDoneLocked(j.parent, j, now)
+	}
+	// Any terminal transition can free queue room; let paced sweeps top
+	// their windows back up.
+	e.advanceSweepsLocked(now)
 }
 
 // execute runs one queued job on a pool worker.
@@ -430,8 +513,7 @@ func (e *Engine) execute(j *Job) {
 		j.errMsg = err.Error()
 		kc.failed.Add(1)
 	}
-	e.reg.markTerminalLocked(j, time.Now())
-	close(j.done)
+	e.finishLocked(j, time.Now())
 	e.reg.mu.Unlock()
 }
 
@@ -474,7 +556,23 @@ func (e *Engine) runContained(ctx context.Context, j *Job) (result []byte, simNS
 func (e *Engine) executeKind(ctx context.Context, j *Job) ([]byte, int64, error) {
 	switch j.Kind {
 	case KindSim:
-		met, err := e.runSim(ctx, *j.Sim)
+		var met sim.Metrics
+		var err error
+		if j.parent != nil && j.parent.sweep != nil {
+			// Sweep child: replay the sweep's frozen access stream instead
+			// of regenerating the workload — generated once per distinct
+			// (workload, seed), shared read-only by every (system, frac)
+			// point. The replay is access-for-access identical to a fresh
+			// generator, so the result bytes (and the cache entry they
+			// warm) match a standalone run of the same request.
+			gen, gerr := j.parent.sweep.streams.get(*j.Sim, &e.ctr.sweepStreamsBuilt)
+			if gerr != nil {
+				return nil, 0, gerr
+			}
+			met, err = e.runSweepSim(ctx, *j.Sim, gen)
+		} else {
+			met, err = e.runSim(ctx, *j.Sim)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -525,11 +623,16 @@ func (e *Engine) statusLocked(j *Job) RunStatus {
 		s.Frac = j.Sim.Frac
 		s.Seed = j.Sim.Seed
 		s.Quick = j.Sim.Quick
+		s.Parent = j.parentID
 	case j.Exp != nil:
 		s.Experiment = j.Exp.Experiment
 		s.Seed = j.Exp.Seed
 		s.Quick = j.Exp.Quick
 		s.Progress = j.progress.Load()
+	case j.sweep != nil:
+		s.Quick = j.sweep.req.Quick
+		s.Progress = j.progress.Load()
+		s.Sweep = e.sweepStatusLocked(j)
 	}
 	if j.State == StateDone {
 		switch j.Kind {
@@ -579,10 +682,13 @@ func (e *Engine) Wait(ctx context.Context, id string) (RunStatus, error) {
 	}
 }
 
-// Cancel aborts a queued or running job of either kind. Queued jobs
-// finish cancelled without ever starting; running jobs see their
-// context cancelled and unwind at the next poll (sim loop or the
-// experiment's next simulation).
+// Cancel aborts a queued or running job of any kind. Queued jobs finish
+// cancelled without ever starting; running jobs see their context
+// cancelled and unwind at the next poll (sim loop or the experiment's
+// next simulation). Cancelling a sweep parent cancels its whole
+// fan-out: pending children finish cancelled immediately, running ones
+// unwind on their workers, and the parent goes terminal when the last
+// child lands.
 func (e *Engine) Cancel(id string) error {
 	e.reg.mu.Lock()
 	j, ok := e.reg.getLocked(id)
@@ -590,14 +696,23 @@ func (e *Engine) Cancel(id string) error {
 		e.reg.mu.Unlock()
 		return fmt.Errorf("%w %q", ErrUnknownRun, id)
 	}
+	if j.Kind == KindSweep {
+		if j.State.Terminal() || j.sweep.cancelled {
+			state := j.State
+			e.reg.mu.Unlock()
+			return fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, state)
+		}
+		e.cancelSweepLocked(j, time.Now())
+		e.reg.mu.Unlock()
+		return nil
+	}
 	switch j.State {
 	case StateQueued:
 		j.State = StateCancelled
 		j.errMsg = context.Canceled.Error()
-		e.reg.markTerminalLocked(j, time.Now())
-		close(j.done)
-		e.reg.mu.Unlock()
 		e.ctr.kind(j.Kind).cancelled.Add(1)
+		e.finishLocked(j, time.Now())
+		e.reg.mu.Unlock()
 		return nil
 	case StateRunning:
 		cancel := j.cancel
@@ -712,6 +827,7 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	s.CacheSize = e.cache.Len()
 	s.RetainRuns = e.reg.retain
 	s.RunTimeoutNS = int64(e.runTimeout)
+	s.MaxSweepPoints = e.maxSweepPoints
 	s.CatalogWorkloads = NumWorkloads()
 	s.CatalogSystems = NumSystems()
 	s.RegistryEvictions = e.reg.evictions.Load()

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+
+	"hopp/internal/faults"
 )
 
 // HandlerConfig carries the optional HTTP-layer collaborators. The
@@ -18,6 +21,14 @@ type HandlerConfig struct {
 	// bucket (keyed by X-API-Key, else the remote address) and answers
 	// 429 + Retry-After when the bucket is dry.
 	Limiter *ClientLimiter
+	// Faults, when non-nil, threads the deterministic fault injector
+	// into the HTTP layer itself: request-body reads that fail
+	// mid-stream (SiteHTTPBodyRead), results-stream writes that error
+	// (SiteHTTPResultsWrite), and clients that stall mid-stream
+	// (SiteHTTPStreamStall). Tests use it to prove a torn upload or a
+	// stalled NDJSON consumer never wedges the engine; nil (the
+	// production default) costs one nil check per site.
+	Faults *faults.Injector
 }
 
 // NewHandler builds the daemon's HTTP API over one engine:
@@ -35,6 +46,13 @@ type HandlerConfig struct {
 //	                                  GET /v1/runs/{id} like any other job
 //	POST   /v1/experiments/{id}       legacy streaming form: submits the same
 //	                                  job and streams its rendered text
+//	POST   /v1/sweeps                 submit a config grid; the engine expands
+//	                                  it into sim children under one parent job
+//	GET    /v1/sweeps/{id}            the parent's aggregate fan-out status
+//	GET    /v1/sweeps/{id}/results    NDJSON of completed points in expansion
+//	                                  order; ?follow=true streams every point
+//	                                  as it lands
+//	DELETE /v1/sweeps/{id}            cancel the whole fan-out
 //	GET    /healthz                   liveness; "ok" or "degraded" (both 200)
 //	GET    /metrics                   per-kind jobs_* counters + gauges
 //
@@ -71,7 +89,7 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 			return
 		}
 		var req RunRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(requestBody(r, cfg.Faults)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
@@ -165,7 +183,130 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 		_, _ = w.Write([]byte(final.Output)) //hopplint:errok headers are already committed; a mid-body write error has no channel back to the client
 	})
 
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		if !admit(w, r, e, limiter) {
+			return
+		}
+		var req SweepRequest
+		if err := json.NewDecoder(requestBody(r, cfg.Faults)).Decode(&req); err != nil {
+			// A body torn mid-upload sheds here, before the engine ever
+			// sees the grid: no parent, no children, no registry entry.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		status, err := e.SubmitSweep(req)
+		writeSubmitResult(w, e, status, err)
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := e.SweepStatus(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	// The results stream: one NDJSON line per point, in expansion order.
+	// The default form snapshots — only points already terminal are
+	// emitted, so two reads of a finished sweep are byte-identical.
+	// ?follow=true waits for each point in order and flushes per line,
+	// tailing a live sweep to completion; the request context bounds the
+	// wait, so a client that disconnects (or stalls past the server's
+	// write timeout) releases nothing more than this handler goroutine —
+	// the sweep itself keeps running.
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		follow := false
+		if f := r.URL.Query().Get("follow"); f != "" {
+			v, err := strconv.ParseBool(f)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad follow %q", f))
+				return
+			}
+			follow = v
+		}
+		id := r.PathValue("id")
+		n, err := e.SweepLen(id)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i := 0; i < n; i++ {
+			pt, terminal, err := e.SweepPointAt(r.Context(), id, i, follow)
+			if err != nil {
+				return // client gone or sweep evicted; the stream just ends
+			}
+			if !terminal {
+				continue // snapshot form skips points still in flight
+			}
+			if cfg.Faults.Hit(faults.SiteHTTPStreamStall) {
+				// A stalled consumer parks here, on this goroutine only,
+				// until the test opens the gate or the client context
+				// ends. The engine and every other request keep moving.
+				if gerr := cfg.Faults.Gate(faults.SiteHTTPStreamStall).Wait(r.Context()); gerr != nil {
+					return
+				}
+			}
+			if cfg.Faults.ErrAt(faults.SiteHTTPResultsWrite) != nil {
+				return // injected mid-stream write failure: stream ends torn
+			}
+			if err := enc.Encode(pt); err != nil {
+				return
+			}
+			if follow && flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Resolve through SweepStatus first so non-sweep IDs 404 here
+		// instead of cancelling arbitrary jobs through the sweep surface.
+		if _, err := e.SweepStatus(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		if err := e.Cancel(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		status, err := e.SweepStatus(id)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
 	return mux
+}
+
+// requestBody wraps a request body with the body-read fault site when an
+// injector is configured; production passes the body through untouched.
+func requestBody(r *http.Request, inj *faults.Injector) io.Reader {
+	if inj == nil {
+		return r.Body
+	}
+	return &faultReader{r: r.Body, inj: inj}
+}
+
+// faultReader fails reads on demand at faults.SiteHTTPBodyRead —
+// a deterministic stand-in for a client whose upload dies mid-body.
+type faultReader struct {
+	r   io.Reader
+	inj *faults.Injector
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if err := fr.inj.ErrAt(faults.SiteHTTPBodyRead); err != nil {
+		return 0, err
+	}
+	return fr.r.Read(p)
 }
 
 // admit runs the per-client fairness check for a submit route. When
@@ -245,9 +386,10 @@ func writeSubmitResult(w http.ResponseWriter, e *Engine, status RunStatus, err e
 // errStatus maps engine errors to HTTP status codes.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownExperiment):
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrNotSweep):
 		return http.StatusNotFound
-	case errors.Is(err, ErrUnknownWorkload), errors.Is(err, ErrUnknownSystem), errors.Is(err, ErrBadFrac):
+	case errors.Is(err, ErrUnknownWorkload), errors.Is(err, ErrUnknownSystem), errors.Is(err, ErrBadFrac),
+		errors.Is(err, ErrBadSweep), errors.Is(err, ErrSweepTooLarge):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotCancellable):
 		return http.StatusConflict

@@ -51,6 +51,15 @@ type JournalEntry struct {
 	// cache, so a restarted daemon serves the identical response.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
 	Output  string          `json:"output,omitempty"`
+
+	// Parent ties a sweep child's entry back to its parent sweep.
+	Parent string `json:"parent,omitempty"`
+	// Sweep carries a sweep parent's grid and aggregate. Parents are the
+	// one kind journaled twice: once at submission (non-terminal state,
+	// config and child IDs only) so a crash mid-sweep replays the parent
+	// as failed instead of losing it, and once at the terminal
+	// transition with the frozen aggregate counts.
+	Sweep *SweepStatus `json:"sweep,omitempty"`
 }
 
 // journalEntry snapshots a terminal job for the journal; the caller
@@ -65,7 +74,9 @@ func journalEntry(j *Job) JournalEntry {
 		WallNS:          j.wallNS,
 		SimNS:           j.simNS,
 		SubmittedUnixNS: j.submitted.UnixNano(),
-		FinishedUnixNS:  j.finished.UnixNano(),
+	}
+	if !j.finished.IsZero() {
+		e.FinishedUnixNS = j.finished.UnixNano()
 	}
 	switch {
 	case j.Sim != nil:
@@ -74,11 +85,31 @@ func journalEntry(j *Job) JournalEntry {
 		e.Frac = j.Sim.Frac
 		e.Seed = j.Sim.Seed
 		e.Quick = j.Sim.Quick
+		e.Parent = j.parentID
 	case j.Exp != nil:
 		e.Experiment = j.Exp.Experiment
 		e.Progress = j.progress.Load()
 		e.Seed = j.Exp.Seed
 		e.Quick = j.Exp.Quick
+	case j.sweep != nil:
+		e.Quick = j.sweep.req.Quick
+		e.Progress = j.progress.Load()
+		if j.sweep.final != nil {
+			s := *j.sweep.final
+			e.Sweep = &s
+		} else {
+			// Submission-time entry: grid and fan-out IDs only; counts
+			// belong to the terminal entry.
+			e.Sweep = &SweepStatus{
+				Workloads: j.sweep.req.Workloads,
+				Systems:   j.sweep.req.Systems,
+				Fracs:     j.sweep.req.Fracs,
+				Seeds:     j.sweep.req.Seeds,
+				Expand:    j.sweep.req.Expand,
+				Total:     len(j.sweep.childIDs),
+				Children:  j.sweep.childIDs,
+			}
+		}
 	}
 	if j.State == StateDone {
 		switch j.Kind {

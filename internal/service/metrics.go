@@ -28,6 +28,20 @@ type counters struct {
 	cacheMisses    atomic.Uint64
 	runWallNS      atomic.Int64 // total wall time spent executing jobs (both kinds)
 	runSimulatedNS atomic.Int64 // total simulated time produced by sim jobs
+
+	// Sweep fan-out accounting. Points are sweep children: total counts
+	// every expanded grid point admitted, cached the points served
+	// without their own simulation (result-cache hits at admission plus
+	// in-flight dedupe followers), completed the points that reached
+	// done (cached ones included), failed the points that did not.
+	// Streams counts distinct workload access streams actually generated
+	// for sweeps — the shared-workload memoization gauge: a sweep of N
+	// points over W distinct (workload, seed) pairs builds exactly W.
+	sweepPointsTotal     atomic.Uint64
+	sweepPointsCached    atomic.Uint64
+	sweepPointsCompleted atomic.Uint64
+	sweepPointsFailed    atomic.Uint64
+	sweepStreamsBuilt    atomic.Uint64
 }
 
 func newCounters() *counters {
@@ -119,6 +133,18 @@ type MetricsSnapshot struct {
 	ActiveJobs       int   `json:"active_jobs"`
 	Workers          int   `json:"workers"`
 
+	// Sweep fan-out gauges: per-point lifecycle counts (cached = served
+	// without a simulation of their own — result-cache hits plus
+	// in-flight dedupe), the distinct workload access streams generated
+	// for sweeps (the memoization win: points ≫ streams), and the
+	// configured grid-size bound (-max-sweep-points).
+	SweepPointsTotal     uint64 `json:"sweep_points_total"`
+	SweepPointsCached    uint64 `json:"sweep_points_cached"`
+	SweepPointsCompleted uint64 `json:"sweep_points_completed"`
+	SweepPointsFailed    uint64 `json:"sweep_points_failed"`
+	SweepStreamsBuilt    uint64 `json:"sweep_streams_built"`
+	MaxSweepPoints       int    `json:"max_sweep_points"`
+
 	// CatalogWorkloads/CatalogSystems size the request space servable by
 	// this build — useful when fleet rollouts mix catalog versions.
 	CatalogWorkloads int `json:"catalog_workloads"`
@@ -148,10 +174,15 @@ func (c *counters) snapshot() MetricsSnapshot {
 		}
 	}
 	return MetricsSnapshot{
-		Jobs:           jobs,
-		CacheHits:      c.cacheHits.Load(),
-		CacheMisses:    c.cacheMisses.Load(),
-		RunWallNS:      c.runWallNS.Load(),
-		RunSimulatedNS: c.runSimulatedNS.Load(),
+		Jobs:                 jobs,
+		CacheHits:            c.cacheHits.Load(),
+		CacheMisses:          c.cacheMisses.Load(),
+		RunWallNS:            c.runWallNS.Load(),
+		RunSimulatedNS:       c.runSimulatedNS.Load(),
+		SweepPointsTotal:     c.sweepPointsTotal.Load(),
+		SweepPointsCached:    c.sweepPointsCached.Load(),
+		SweepPointsCompleted: c.sweepPointsCompleted.Load(),
+		SweepPointsFailed:    c.sweepPointsFailed.Load(),
+		SweepStreamsBuilt:    c.sweepStreamsBuilt.Load(),
 	}
 }

@@ -115,6 +115,47 @@ func (p *Pool) Submit(job func()) error {
 	return nil
 }
 
+// SubmitBatch enqueues jobs atomically, in order: either every job fits
+// under the queue bound and all are queued, or none is and the batch
+// fails with ErrQueueFull. Sweep admission uses it so a partially
+// admitted grid can never wedge half a parent's children into the queue.
+func (p *Pool) SubmitBatch(jobs []func()) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if p.inject.Hit(faults.SitePoolSubmit) {
+		return ErrQueueFull
+	}
+	if p.maxQueue > 0 && len(p.queue)+len(jobs) > p.maxQueue {
+		return ErrQueueFull
+	}
+	p.queue = append(p.queue, jobs...)
+	p.cond.Broadcast()
+	return nil
+}
+
+// ForceSubmit enqueues a job past the queue bound. It exists for
+// follower promotion: when an in-flight job fails, the follower that
+// was deduped onto it was already admitted once and is now inheriting a
+// slot the leader's terminal transition just freed — bouncing it off
+// admission control a second time would turn one transient failure into
+// many. Only ErrPoolClosed can reject it.
+func (p *Pool) ForceSubmit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, job)
+	p.cond.Signal()
+	return nil
+}
+
 // QueueDepth reports jobs submitted but not yet started.
 func (p *Pool) QueueDepth() int {
 	p.mu.Lock()

@@ -15,17 +15,19 @@ import (
 // result serializes.
 type JobKind string
 
-// The two job kinds: workload × system simulations and experiment
-// (table/figure) regenerations.
+// The job kinds: workload × system simulations, experiment
+// (table/figure) regenerations, and sweeps — grid submissions whose
+// parent job fans out into sim children and aggregates their states.
 const (
 	KindSim        JobKind = "sim"
 	KindExperiment JobKind = "experiment"
+	KindSweep      JobKind = "sweep"
 )
 
 // jobKinds lists every kind in fixed order, so anything iterating kinds
 // (metrics snapshots, journal summaries) stays deterministic without
 // ranging over a map.
-var jobKinds = []JobKind{KindSim, KindExperiment}
+var jobKinds = []JobKind{KindSim, KindExperiment, KindSweep}
 
 // JobState is a job's lifecycle position.
 type JobState string
@@ -61,7 +63,8 @@ type Job struct {
 	Result []byte
 
 	// Sim is the normalized payload of a KindSim job; Exp of a
-	// KindExperiment job. Exactly one is non-nil.
+	// KindExperiment job; sweep of a KindSweep job. Exactly one is
+	// non-nil.
 	Sim *RunRequest
 	Exp *ExperimentRequest
 
@@ -73,9 +76,29 @@ type Job struct {
 	wallNS    int64
 	simNS     int64
 	errMsg    string
-	progress  atomic.Int64 // completed simulation units (experiment jobs)
+	progress  atomic.Int64 // completed simulation units (experiment + sweep jobs)
 	cancel    func()
 	done      chan struct{}
+	// doneClosed guards the single close of done: cache hits close it at
+	// submission, every other path closes it in finishLocked.
+	doneClosed bool
+
+	// Sweep linkage (all guarded by reg.mu).
+	//
+	// sweep is the parent-side fan-out state of a KindSweep job.
+	// parent/parentID tie a sweep child back to its aggregating parent
+	// (parent is nil for children restored from the journal — the ID
+	// alone survives a restart). leader marks a follower: a child whose
+	// canonical key matched an already in-flight job; it holds no pool
+	// slot and inherits the leader's result at the leader's terminal
+	// transition. followers is the leader-side mirror. inPool marks a
+	// child whose execute closure has been handed to the worker pool.
+	sweep     *sweepState
+	parent    *Job
+	parentID  string
+	leader    *Job
+	followers []*Job
+	inPool    bool
 }
 
 // registry is the bounded window of recent jobs: every admitted job of

@@ -62,7 +62,7 @@ func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
 		}
 		e.reg.mu.Lock()
 		e.reg.restoreLocked(j)
-		if j.State == StateDone && len(j.Result) > 0 {
+		if j.State == StateDone && j.key != "" && len(j.Result) > 0 {
 			e.cache.Put(j.key, j.Result, j.simNS)
 		}
 		e.replayed++
@@ -97,7 +97,10 @@ func (e *Engine) ReplayJournalFile(path string) (ReplayStats, error) {
 // cache key is exactly the one a live submission of the same request
 // would compute. Reports !ok for entries this build cannot restore.
 func (e *Engine) jobFromEntry(entry JournalEntry) (*Job, bool) {
-	if !entry.State.Terminal() {
+	// Only sweep parents may replay from a non-terminal entry (the
+	// submission-time line); everything else journals exactly once, at
+	// its terminal transition.
+	if !entry.State.Terminal() && entry.Kind != KindSweep {
 		return nil, false
 	}
 	if _, ok := jobIDNum(entry.ID); !ok {
@@ -115,6 +118,7 @@ func (e *Engine) jobFromEntry(entry JournalEntry) (*Job, bool) {
 		done:      make(chan struct{}),
 	}
 	j.finished = time.Unix(0, entry.FinishedUnixNS)
+	j.doneClosed = true
 	close(j.done) // born terminal: Wait returns immediately
 	switch entry.Kind {
 	case KindSim:
@@ -131,6 +135,7 @@ func (e *Engine) jobFromEntry(entry JournalEntry) (*Job, bool) {
 		j.Sim = &norm
 		j.key = key
 		j.Result = entry.Metrics
+		j.parentID = entry.Parent
 	case KindExperiment:
 		norm, key, err := ExperimentRequest{
 			Experiment: entry.Experiment,
@@ -146,6 +151,44 @@ func (e *Engine) jobFromEntry(entry JournalEntry) (*Job, bool) {
 		if entry.Output != "" {
 			j.Result = []byte(entry.Output)
 		}
+	case KindSweep:
+		if entry.Sweep == nil {
+			return nil, false
+		}
+		sw := &sweepState{
+			req: SweepRequest{
+				Workloads: entry.Sweep.Workloads,
+				Systems:   entry.Sweep.Systems,
+				Fracs:     entry.Sweep.Fracs,
+				Seeds:     entry.Sweep.Seeds,
+				Expand:    entry.Sweep.Expand,
+				Quick:     entry.Quick,
+			},
+			childIDs: entry.Sweep.Children,
+		}
+		// Re-expansion is deterministic, so the per-point request
+		// coordinates come back for the results stream; catalog drift
+		// just leaves them blank rather than failing the parent.
+		if norm, points, err := sw.req.Points(); err == nil && len(points) == len(sw.childIDs) {
+			sw.req = norm
+			sw.points = points
+		}
+		if entry.State.Terminal() {
+			s := *entry.Sweep
+			sw.final = &s
+		} else {
+			// Crash mid-sweep: the parent must never replay as a zombie
+			// in-progress job. It comes back failed; whatever children
+			// reached the journal before the crash stay individually
+			// reachable (and byte-identical) through its child IDs.
+			j.State = StateFailed
+			j.errMsg = "sweep interrupted by daemon restart"
+			if j.finished.IsZero() || entry.FinishedUnixNS == 0 {
+				j.finished = j.submitted
+			}
+		}
+		j.progress.Store(entry.Progress)
+		j.sweep = sw
 	default:
 		return nil, false
 	}

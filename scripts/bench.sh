@@ -1,0 +1,57 @@
+#!/bin/sh
+# Hot-loop benchmark snapshot: the three numbers that catch a
+# performance regression in the paths everything else rides on —
+#
+#   machine_maccess_per_s   raw per-access simulation throughput
+#   table2_ns_per_op        one full experiment regeneration (quick)
+#   sweep_speedup           one 8-point sweep vs the same 8 points as
+#                           individual runs (shared-stream win)
+#
+# Results land in BENCH_hotloop.json at the repo root. The committed
+# copy is the baseline; rerun after touching the simulator hot loop,
+# the experiment pipeline, or the sweep fan-out, and eyeball the diff.
+# Benchmarks time wall clocks, so numbers move machine to machine —
+# the baseline is for order-of-magnitude drift, not CI gating.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_hotloop.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench (hot loop: machine + table2)"
+go test -bench 'MachineThroughput|Table2_HPDThreshold' -run '^$' -benchtime 3x . | tee "$tmp"
+
+echo "== go test -bench (sweep vs individual)"
+go test -bench 'SweepVsIndividual' -run '^$' -benchtime 3x ./internal/service/ | tee -a "$tmp"
+
+awk '
+/^BenchmarkMachineThroughput/ {
+    for (i = 1; i <= NF; i++) if ($i == "Maccess/s") maccess = $(i - 1)
+}
+/^BenchmarkTable2_HPDThreshold/ {
+    for (i = 1; i <= NF; i++) if ($i == "ns/op") table2 = $(i - 1)
+}
+/^BenchmarkSweepVsIndividual/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "speedup") speedup = $(i - 1)
+        if ($i == "sweep-ns/grid") sweep = $(i - 1)
+        if ($i == "individual-ns/grid") indiv = $(i - 1)
+    }
+}
+END {
+    if (maccess == "" || table2 == "" || speedup == "") {
+        print "bench.sh: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"machine_maccess_per_s\": %s,\n", maccess
+    printf "  \"table2_ns_per_op\": %s,\n", table2
+    printf "  \"sweep_speedup\": %s,\n", speedup
+    printf "  \"sweep_ns_per_grid\": %s,\n", sweep
+    printf "  \"individual_ns_per_grid\": %s\n", indiv
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "bench.sh: wrote $out"
+cat "$out"

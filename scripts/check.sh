@@ -37,6 +37,9 @@ go run ./cmd/hopplint ./...
 # internal/faults rides in the race gate alongside the service layer:
 # the fault-injection tests (contained panics, journal write failures,
 # gated slow runs) are exactly the paths where a data race would hide.
+# The service package includes the sweep fan-out suite (shared frozen
+# streams, in-flight dedupe, mid-sweep replay, stalled NDJSON clients) —
+# the heaviest cross-goroutine surface in the repo.
 echo "== go test -race (service + faults + sim + workload, quick mode)"
 go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/...
 
