@@ -11,6 +11,7 @@ package cachesim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hopp/internal/memsim"
 )
@@ -41,20 +42,82 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	tick  uint64 // LRU timestamp; larger = more recent
-}
+// invalidTag marks an empty way. Tags are cacheline indexes shifted
+// down by the set bits and are stored as uint32 — half the scan
+// footprint of a 64-bit tag, which keeps a whole 16-way set of tags in
+// one hardware cacheline. Access guards the range loudly: a tag at or
+// above the sentinel would need a simulated address beyond 2^(32+set
+// bits+6) bytes, far past anything the machines model.
+const invalidTag = ^uint32(0)
+
+// identityOrder is the nibble permutation 15,14,...,1,0 — the initial
+// recency order for a 16-way set (way i at nibble i).
+const identityOrder = 0xFEDCBA9876543210
 
 // Cache is a single set-associative level.
+//
+// Lines live in flat parallel arrays with set s occupying indexes
+// [s*ways, (s+1)*ways) of the tag array. Structure-of-arrays keeps a
+// hit scan inside one or two hardware cachelines, and when the set
+// count is a power of two — every realistic geometry — set selection
+// and tag extraction use mask/shift instead of divisions.
+//
+// For associativities up to 16 (every geometry in the repo), LRU state
+// is a packed recency permutation: one uint64 per set holding 4-bit way
+// indexes ordered MRU (nibble 0) to LRU (nibble ways-1), plus a count
+// of valid ways. The code maintains an invariant that empty ways always
+// occupy the LRU end of the permutation — invalidation moves the dropped
+// way there — so a miss claims its victim with one load and a rotate,
+// no per-way timestamp scan: the timestamp compare chain was the single
+// hottest line in the whole simulator. Wider caches fall back to
+// per-way tick timestamps. Both layouts implement exactly the same
+// policy: true LRU over install+hit touches, empty ways claimed before
+// any eviction.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
-	numSets int
-	tick    uint64
-	stats   Stats
+	cfg      Config
+	tags     []uint32 // invalidTag = empty way
+	ord      []uint64 // packed recency permutation per set (ways ≤ 16)
+	valid    []uint8  // count of valid ways per set (ways ≤ 16)
+	ticks    []uint64 // fallback LRU timestamps (ways > 16 only)
+	ways     int
+	lruShift uint
+	numSets  int
+	pow2     bool
+	setMask  uint64
+	tagShift uint
+	tick     uint64
+	// pages holds one pageLines record per physical page, chunked so
+	// memory tracks the touched footprint rather than the highest page
+	// index: the offline trace studies identity-map workload regions
+	// sitting at distant VPN offsets, where a dense-by-PPN array would
+	// pay for the gaps (gigabytes, at 72 B/page). A chunk covers
+	// chunkPages consecutive pages and is allocated on first install in
+	// its range; only the top-level pointer slice is dense.
+	pages [][]pageLines
+	stats Stats
 }
+
+// pageLines is a physical page's residency record at one level. bits
+// marks which of the page's 64 lines are resident — install sets a
+// line's bit, eviction and invalidation clear it, and tag↔line is a
+// bijection within a set, so the bit mirrors residency exactly. ways
+// records the way each line occupies, written at install time. A
+// resident line never changes ways, so whenever its bit is set the ways
+// entry is current — hits and page invalidations index the way directly
+// instead of scanning the set's tags. Stale ways entries for evicted
+// lines are harmless: the bit gates every read.
+type pageLines struct {
+	bits uint64
+	ways [memsim.LinesPerPage]uint8
+}
+
+// Chunk geometry for Cache.pages: 256 pages (a 1 MB span) per chunk,
+// 18 KB a chunk.
+const (
+	chunkShift = 8
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+)
 
 // New builds a cache level. It panics on a malformed geometry, which is a
 // programming error in experiment setup, not a runtime condition.
@@ -62,21 +125,62 @@ func New(cfg Config) *Cache {
 	if cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cachesim: ways must be positive, got %d", cfg.Ways))
 	}
+	if cfg.Ways > 256 {
+		panic(fmt.Sprintf("cachesim: associativity %d exceeds the 256-way limit of the per-line way records", cfg.Ways))
+	}
 	linesTotal := cfg.SizeBytes / memsim.LineSize
 	if linesTotal <= 0 || linesTotal%cfg.Ways != 0 {
 		panic(fmt.Sprintf("cachesim: size %d B with %d ways does not divide into whole sets", cfg.SizeBytes, cfg.Ways))
 	}
 	numSets := linesTotal / cfg.Ways
-	sets := make([][]line, numSets)
-	backing := make([]line, linesTotal)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	c := &Cache{
+		cfg:     cfg,
+		tags:    make([]uint32, linesTotal),
+		ways:    cfg.Ways,
+		numSets: numSets,
 	}
-	return &Cache{cfg: cfg, sets: sets, numSets: numSets}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	if cfg.Ways <= 16 {
+		c.ord = make([]uint64, numSets)
+		c.valid = make([]uint8, numSets)
+		c.lruShift = uint(4 * (cfg.Ways - 1))
+		init := uint64(identityOrder)
+		if cfg.Ways < 16 {
+			init &= uint64(1)<<uint(4*cfg.Ways) - 1
+		}
+		for i := range c.ord {
+			c.ord[i] = init
+		}
+	} else {
+		c.ticks = make([]uint64, linesTotal)
+	}
+	if numSets&(numSets-1) == 0 {
+		c.pow2 = true
+		c.setMask = uint64(numSets - 1)
+		c.tagShift = uint(bits.TrailingZeros64(uint64(numSets)))
+	}
+	return c
+}
+
+// locate splits a cacheline index into set and tag. The power-of-two
+// fast path computes exactly the same values as the modulo fallback.
+func (c *Cache) locate(lineIdx uint64) (set int, tag uint64) {
+	if c.pow2 {
+		return int(lineIdx & c.setMask), lineIdx >> c.tagShift
+	}
+	return int(lineIdx % uint64(c.numSets)), lineIdx / uint64(c.numSets)
 }
 
 // Stats returns a copy of the level's counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	// Misses is derived rather than counted: the install path is the
+	// hottest code in the simulator and every removable store matters.
+	s.Misses = s.Accesses - s.Hits
+	return s
+}
 
 // Name returns the level's configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
@@ -84,52 +188,225 @@ func (c *Cache) Name() string { return c.cfg.Name }
 // Access touches the cacheline containing addr and reports whether it
 // hit. On a miss the line is installed, evicting the set's LRU victim.
 func (c *Cache) Access(addr memsim.PAddr) bool {
-	lineIdx := addr.Line()
-	set := int(lineIdx % uint64(c.numSets))
-	tag := lineIdx / uint64(c.numSets)
-	c.tick++
+	line := addr.Line()
+	set, tag64 := c.locate(line)
+	if tag64 >= uint64(invalidTag) {
+		panic("cachesim: line address beyond the 32-bit tag range")
+	}
+	tag := uint32(tag64)
 	c.stats.Accesses++
+	if c.ticks != nil {
+		return c.accessWide(set, tag)
+	}
 
-	ways := c.sets[set]
-	victim := 0
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].tick = c.tick
+	// The page record mirrors residency exactly, so one bit test decides
+	// hit/miss and the recorded way replaces any tag scan: misses — the
+	// regime the whole simulator exists to model — and hits alike touch
+	// only the line's own set entry.
+	pg := line >> (memsim.PageShift - memsim.LineShift)
+	li := line & (memsim.LinesPerPage - 1)
+	bit := uint64(1) << li
+	var pl *pageLines
+	if ci := pg >> chunkShift; ci < uint64(len(c.pages)) && c.pages[ci] != nil {
+		pl = &c.pages[ci][pg&chunkMask]
+	} else {
+		pl = c.pageRecSlow(pg)
+	}
+	if pl.bits&bit == 0 {
+		// The LRU-most way is the victim either way: empty ways live at
+		// the LRU end of the permutation, so when the set is not full the
+		// rotate claims an empty way, never evicting live data early.
+		base := set * c.ways
+		tags := c.tags[base : base+c.ways]
+		o := c.ord[set]
+		w := int(o >> c.lruShift)
+		c.ord[set] = (o&(uint64(1)<<c.lruShift-1))<<4 | uint64(w)
+		if int(c.valid[set]) == c.ways {
+			c.stats.Evictions++
+			// The victim's page record exists (its line was installed
+			// through this very path), so clear the bit directly.
+			el := c.lineOf(tags[w], set)
+			epg := el >> (memsim.PageShift - memsim.LineShift)
+			c.pages[epg>>chunkShift][epg&chunkMask].bits &^= uint64(1) << (el & (memsim.LinesPerPage - 1))
+		} else {
+			c.valid[set]++
+		}
+		tags[w] = tag
+		pl.bits |= bit
+		pl.ways[li] = uint8(w)
+		return false
+	}
+	w := int(pl.ways[li])
+	if c.tags[set*c.ways+w] != tag {
+		panic("cachesim: page record marks a line resident but its recorded way holds another tag")
+	}
+	c.stats.Hits++
+	c.touch(set, w)
+	return true
+}
+
+// lineOf reconstructs the full cacheline index from a stored tag and
+// its set — the inverse of locate.
+func (c *Cache) lineOf(tag uint32, set int) uint64 {
+	if c.pow2 {
+		return uint64(tag)<<c.tagShift | uint64(set)
+	}
+	return uint64(tag)*uint64(c.numSets) + uint64(set)
+}
+
+// pageRecSlow is the cold path of the page-record lookup: grow the
+// top-level pointer slice and/or allocate the page's chunk, then return
+// the record. Access inlines the common both-present case and calls
+// here only on a page range's first touch.
+func (c *Cache) pageRecSlow(pg uint64) *pageLines {
+	ci := pg >> chunkShift
+	if ci >= uint64(len(c.pages)) {
+		grown := make([][]pageLines, ci+1+ci/2)
+		copy(grown, c.pages)
+		c.pages = grown
+	}
+	if c.pages[ci] == nil {
+		c.pages[ci] = make([]pageLines, chunkPages)
+	}
+	return &c.pages[ci][pg&chunkMask]
+}
+
+// nibbleBroadcast spreads one nibble to all sixteen positions.
+const nibbleBroadcast = 0x1111111111111111
+
+// nibblePos returns 4·p where p is the position of the (unique) nibble
+// of o equal to w, via a zero-nibble SWAR scan: the lowest zero nibble
+// of o^(w·0x11…1) is found exactly by the borrow trick.
+func nibblePos(o uint64, w int) uint {
+	x := o ^ uint64(w)*nibbleBroadcast
+	m := (x - nibbleBroadcast) &^ x & (nibbleBroadcast << 3)
+	return uint(bits.TrailingZeros64(m)) &^ 3
+}
+
+// touch moves way w to the MRU end of set's recency permutation.
+func (c *Cache) touch(set, w int) {
+	o := c.ord[set]
+	p := nibblePos(o, w)
+	low := o & (uint64(1)<<p - 1)
+	c.ord[set] = o&^(uint64(1)<<(p+4)-1) | low<<4 | uint64(w)
+}
+
+// demote moves way w to the LRU end of set's recency permutation,
+// keeping freshly-invalidated ways in the empty-suffix region that
+// Access claims victims from.
+func (c *Cache) demote(set, w int) {
+	o := c.ord[set]
+	p := nibblePos(o, w)
+	low := o & (uint64(1)<<p - 1)
+	high := o >> (p + 4)
+	c.ord[set] = low | high<<p | uint64(w)<<c.lruShift
+}
+
+// accessWide is the ways>16 fallback using per-way timestamps.
+func (c *Cache) accessWide(set int, tag uint32) bool {
+	c.tick++
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	ticks := c.ticks[base : base+c.ways]
+	victim, victimValid := 0, true
+	for i := range tags {
+		if tags[i] == tag {
+			ticks[i] = c.tick
 			c.stats.Hits++
 			return true
 		}
-		if !ways[i].valid {
-			victim = i
-		} else if ways[victim].valid && ways[i].tick < ways[victim].tick {
+		if tags[i] == invalidTag {
+			victim, victimValid = i, false
+		} else if victimValid && ticks[i] < ticks[victim] {
 			victim = i
 		}
 	}
-	c.stats.Misses++
-	if ways[victim].valid {
+	if tags[victim] != invalidTag {
 		c.stats.Evictions++
+		el := c.lineOf(tags[victim], set)
+		epl := c.pageRecSlow(el >> (memsim.PageShift - memsim.LineShift))
+		epl.bits &^= uint64(1) << (el & (memsim.LinesPerPage - 1))
 	}
-	ways[victim] = line{tag: tag, valid: true, tick: c.tick}
+	tags[victim] = tag
+	ticks[victim] = c.tick
+	line := c.lineOf(tag, set)
+	pl := c.pageRecSlow(line >> (memsim.PageShift - memsim.LineShift))
+	pl.bits |= uint64(1) << (line & (memsim.LinesPerPage - 1))
+	pl.ways[line&(memsim.LinesPerPage-1)] = uint8(victim)
 	return false
+}
+
+// Probe reports whether the cacheline containing addr is present,
+// without touching LRU state, stats, or installing anything. It is the
+// read-only counterpart of Access.
+func (c *Cache) Probe(addr memsim.PAddr) bool {
+	line := addr.Line()
+	pg := line >> (memsim.PageShift - memsim.LineShift)
+	ci := pg >> chunkShift
+	if ci >= uint64(len(c.pages)) || c.pages[ci] == nil {
+		return false
+	}
+	return c.pages[ci][pg&chunkMask].bits&(uint64(1)<<(line&(memsim.LinesPerPage-1))) != 0
 }
 
 // InvalidatePage drops every line of the given physical page, as happens
 // when the kernel reclaims the page. Returns how many lines were dropped.
 func (c *Cache) InvalidatePage(p memsim.PPN) int {
+	pg := uint64(p)
+	ci := pg >> chunkShift
+	if ci >= uint64(len(c.pages)) || c.pages[ci] == nil {
+		return 0
+	}
+	pl := &c.pages[ci][pg&chunkMask]
+	if pl.bits == 0 {
+		return 0
+	}
+	resident := pl.bits
+	pl.bits = 0
 	dropped := 0
-	for i := 0; i < memsim.LinesPerPage; i++ {
-		lineIdx := p.LineAddr(i).Line()
-		set := int(lineIdx % uint64(c.numSets))
-		tag := lineIdx / uint64(c.numSets)
-		ways := c.sets[set]
-		for j := range ways {
-			if ways[j].valid && ways[j].tag == tag {
-				ways[j].valid = false
-				dropped++
-				break
+	line0 := p.LineAddr(0).Line()
+	if c.pow2 && c.numSets >= memsim.LinesPerPage {
+		// A page's lines land in LinesPerPage consecutive sets (the page
+		// start is set-aligned) and share one tag, so each resident line
+		// maps straight to its set with no per-line locate; the recorded
+		// way pinpoints it without a tag scan.
+		set0 := int(line0 & c.setMask)
+		tag := uint32(line0 >> c.tagShift)
+		for rem := resident; rem != 0; rem &= rem - 1 {
+			i := bits.TrailingZeros64(rem)
+			set := set0 + i
+			base := set * c.ways
+			j := int(pl.ways[i])
+			if c.tags[base+j] != tag {
+				panic("cachesim: page record marks a line resident but its recorded way holds another tag")
 			}
+			c.drop(set, base, j)
+			dropped++
 		}
+		return dropped
+	}
+	for rem := resident; rem != 0; rem &= rem - 1 {
+		i := bits.TrailingZeros64(rem)
+		line := line0 + uint64(i)
+		set, tag64 := c.locate(line)
+		base := set * c.ways
+		j := int(pl.ways[i])
+		if c.tags[base+j] != uint32(tag64) {
+			panic("cachesim: page record marks a line resident but its recorded way holds another tag")
+		}
+		c.drop(set, base, j)
+		dropped++
 	}
 	return dropped
+}
+
+// drop invalidates way j of set (flat base index base).
+func (c *Cache) drop(set, base, j int) {
+	c.tags[base+j] = invalidTag
+	if c.ord != nil {
+		c.valid[set]--
+		c.demote(set, j)
+	}
 }
 
 // Level identifies which part of the hierarchy satisfied an access.
@@ -157,11 +434,22 @@ func (l Level) String() string {
 // reaches memory (and therefore the memory controller).
 type Hierarchy struct {
 	levels []*Cache
+	// l2/llc are set for the ubiquitous one- and two-level shapes so
+	// Access dispatches straight to the caches without the slice walk.
+	l2  *Cache
+	llc *Cache
 }
 
 // NewHierarchy builds a hierarchy from inner to outer levels.
 func NewHierarchy(levels ...*Cache) *Hierarchy {
-	return &Hierarchy{levels: levels}
+	h := &Hierarchy{levels: levels}
+	switch len(levels) {
+	case 1:
+		h.llc = levels[0]
+	case 2:
+		h.l2, h.llc = levels[0], levels[1]
+	}
+	return h
 }
 
 // DefaultHierarchy models the testbed's per-workload share of a server
@@ -181,6 +469,15 @@ func DefaultHierarchy() *Hierarchy {
 // behaves as a bare LLC. Missed levels install the line (inclusive
 // hierarchy).
 func (h *Hierarchy) Access(addr memsim.PAddr) Level {
+	if h.llc != nil {
+		if h.l2 != nil && h.l2.Access(addr) {
+			return LevelL2
+		}
+		if h.llc.Access(addr) {
+			return LevelLLC
+		}
+		return LevelMemory
+	}
 	for i, c := range h.levels {
 		if c.Access(addr) {
 			if i == len(h.levels)-1 {
@@ -193,9 +490,15 @@ func (h *Hierarchy) Access(addr memsim.PAddr) Level {
 }
 
 // MissesLLC reports whether the access would reach memory, without
-// actually recording hits at inner levels. Used by tests.
+// recording hits, refreshing LRU state, or installing lines anywhere in
+// the hierarchy. Used by tests.
 func (h *Hierarchy) MissesLLC(addr memsim.PAddr) bool {
-	return h.Access(addr) == LevelMemory
+	for _, c := range h.levels {
+		if c.Probe(addr) {
+			return false
+		}
+	}
+	return true
 }
 
 // InvalidatePage drops the page's lines from every level.

@@ -182,3 +182,47 @@ func BenchmarkCacheAccess(b *testing.B) {
 		c.Access(addrs[i%len(addrs)])
 	}
 }
+
+// TestMissesLLCIsReadOnly drives two identical hierarchies through the
+// same randomized stream; one is additionally probed with MissesLLC
+// before every access (plus a burst of repeat probes). The probe must
+// (a) predict exactly what Access then observes and (b) leave no trace:
+// both hierarchies must end bit-for-bit equal in stats, and repeated
+// probes must agree with themselves.
+func TestMissesLLCIsReadOnly(t *testing.T) {
+	build := func() *Hierarchy {
+		return NewHierarchy(
+			New(Config{Name: "L2", SizeBytes: 2 << 10, Ways: 2}),
+			New(Config{Name: "LLC", SizeBytes: 8 << 10, Ways: 4}),
+		)
+	}
+	probed, clean := build(), build()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50000; i++ {
+		// A few dozen pages with reuse so all of hit, miss, and eviction
+		// paths run; page-sized invalidations mixed in.
+		addr := memsim.PAddr(uint64(rng.Intn(48))<<memsim.PageShift |
+			uint64(rng.Intn(memsim.LinesPerPage))<<memsim.LineShift)
+		if rng.Intn(512) == 0 {
+			p := addr.Page()
+			probed.InvalidatePage(p)
+			clean.InvalidatePage(p)
+		}
+		miss := probed.MissesLLC(addr)
+		if again := probed.MissesLLC(addr); again != miss {
+			t.Fatalf("access %d: repeated MissesLLC(%#x) flipped %v -> %v", i, addr, miss, again)
+		}
+		level := probed.Access(addr)
+		if miss != (level == LevelMemory) {
+			t.Fatalf("access %d: MissesLLC(%#x) = %v but Access reached %v", i, addr, miss, level)
+		}
+		if cleanLevel := clean.Access(addr); cleanLevel != level {
+			t.Fatalf("access %d: probed hierarchy diverged: %v vs %v", i, level, cleanLevel)
+		}
+	}
+	for lvl, ps := range probed.LevelStats() {
+		if cs := clean.LevelStats()[lvl]; ps != cs {
+			t.Fatalf("level %d stats diverged under probing: %+v vs %+v", lvl, ps, cs)
+		}
+	}
+}

@@ -9,17 +9,64 @@ import "hopp/internal/memsim"
 // stride from vpns[L-1] to the newly arrived hot page — which has NOT
 // yet been appended to the history.
 
+// countWindow bounds the history length for which the frequency helpers
+// below count on the stack. Histories are HistoryLen-bounded (default
+// 16), so the linear-scan arrays cover every realistic configuration;
+// larger windows fall back to a map. The two paths are semantically
+// identical: first-seen order decides ties exactly as map insertion
+// order used to, because both update the best only on a strictly
+// greater count while scanning the input in order.
+const countWindow = 64
+
 // dominantStride returns the stride occurring at least ceil(half) times
 // among strides ∪ {strideA}, if any. SSP's "dominant" condition is
 // occurrence ≥ L/2 (§III-D2).
 func dominantStride(strides []memsim.Stride, strideA memsim.Stride, half int) (memsim.Stride, bool) {
-	counts := make(map[memsim.Stride]int, len(strides)+1)
-	counts[strideA]++
-	best, bestN := strideA, counts[strideA]
+	var best memsim.Stride
+	var bestN int
+	uniform := true
 	for _, s := range strides {
-		counts[s]++
-		if counts[s] > bestN {
-			best, bestN = s, counts[s]
+		if s != strideA {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		// One distinct stride — the shape every steady stream produces.
+		// Answering directly skips the counting scratch below, whose
+		// zeroing otherwise dominates this function.
+		best, bestN = strideA, len(strides)+1
+	} else if len(strides) < countWindow {
+		var vals [countWindow]memsim.Stride
+		var counts [countWindow]int
+		vals[0], counts[0] = strideA, 1
+		n := 1
+		best, bestN = strideA, 1
+		for _, s := range strides {
+			j := 0
+			for ; j < n; j++ {
+				if vals[j] == s {
+					break
+				}
+			}
+			if j == n {
+				vals[n] = s
+				n++
+			}
+			counts[j]++
+			if counts[j] > bestN {
+				best, bestN = s, counts[j]
+			}
+		}
+	} else {
+		counts := make(map[memsim.Stride]int, len(strides)+1)
+		counts[strideA]++
+		best, bestN = strideA, counts[strideA]
+		for _, s := range strides {
+			counts[s]++
+			if counts[s] > bestN {
+				best, bestN = s, counts[s]
+			}
 		}
 	}
 	if bestN >= half {
@@ -58,8 +105,9 @@ func lsp(vpns []memsim.VPN, strides []memsim.Stride, strideA memsim.Stride) (lsp
 	pt0 := strides[l-2] // pattern_target[0]
 	pt1 := strideA      // pattern_target[1]
 
-	var nextStrides []memsim.Stride
-	var strideSums []memsim.Stride
+	var nsBuf, ssBuf [countWindow]memsim.Stride
+	nextStrides := nsBuf[:0]
+	strideSums := ssBuf[:0]
 	lastIndex := l - 2
 	for i := l - 3; i >= 0; i-- {
 		if strides[i] == pt0 && strides[i+1] == pt1 {
@@ -87,6 +135,29 @@ func lsp(vpns []memsim.VPN, strides []memsim.Stride, strideA memsim.Stride) (lsp
 // found earliest, i.e. the most recent occurrence (candidates are
 // gathered newest-first).
 func mode(xs []memsim.Stride) memsim.Stride {
+	if len(xs) <= countWindow {
+		var vals [countWindow]memsim.Stride
+		var counts [countWindow]int
+		n := 0
+		best, bestN := xs[0], 0
+		for _, x := range xs {
+			j := 0
+			for ; j < n; j++ {
+				if vals[j] == x {
+					break
+				}
+			}
+			if j == n {
+				vals[n] = x
+				n++
+			}
+			counts[j]++
+			if counts[j] > bestN {
+				best, bestN = x, counts[j]
+			}
+		}
+		return best
+	}
 	counts := make(map[memsim.Stride]int, len(xs))
 	best, bestN := xs[0], 0
 	for _, x := range xs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hopp/internal/flatmap"
 	"hopp/internal/memsim"
 	"hopp/internal/vclock"
 	"hopp/internal/vmm"
@@ -108,9 +109,12 @@ type issuedReq struct {
 // page faults, so the offset feedback loop keeps working even though
 // injected pages never fault.
 type Executor struct {
-	backend     Backend
-	algo        Algorithm
-	reqs        map[memsim.PageKey]*issuedReq
+	backend Backend
+	algo    Algorithm
+	// reqs tracks issued-and-not-yet-consumed prefetches by packed page
+	// key. Requests live by value inside the flat map, so the steady
+	// state issues and retires them without touching the heap.
+	reqs        *flatmap.Map[issuedReq]
 	stats       ExecStats
 	minBulkFrac float64
 }
@@ -122,7 +126,7 @@ func NewExecutor(backend Backend, algo Algorithm, params Params) *Executor {
 	return &Executor{
 		backend:     backend,
 		algo:        algo,
-		reqs:        make(map[memsim.PageKey]*issuedReq),
+		reqs:        flatmap.New[issuedReq](64),
 		minBulkFrac: params.Bulk.MinRemoteFrac,
 	}
 }
@@ -131,7 +135,7 @@ func NewExecutor(backend Backend, algo Algorithm, params Params) *Executor {
 func (x *Executor) Stats() ExecStats { return x.stats }
 
 // Outstanding returns how many fetches are in flight or landed-unhit.
-func (x *Executor) Outstanding() int { return len(x.reqs) }
+func (x *Executor) Outstanding() int { return x.reqs.Len() }
 
 // Submit executes one prediction.
 func (x *Executor) Submit(now vclock.Time, pred Prediction) {
@@ -141,8 +145,9 @@ func (x *Executor) Submit(now vclock.Time, pred Prediction) {
 	}
 	for _, vpn := range pred.Pages {
 		key := memsim.PageKey{PID: pred.PID, VPN: vpn}
+		pk := key.Pack()
 		x.stats.Requested++
-		if _, dup := x.reqs[key]; dup {
+		if x.reqs.Has(pk) {
 			x.stats.SkipInflight++
 			continue
 		}
@@ -156,7 +161,7 @@ func (x *Executor) Submit(now vclock.Time, pred Prediction) {
 			// into a 0.1 µs DRAM hit — the §VI-E early-injection gain.
 			if x.backend.InjectSwapCached(now, key) {
 				x.stats.InjectedInPlace++
-				x.reqs[key] = &issuedReq{stream: pred.Stream, tier: pred.Tier, arrival: now, landed: true}
+				x.reqs.Put(pk, issuedReq{stream: pred.Stream, tier: pred.Tier, arrival: now, landed: true})
 				x.stats.IssuedByTier[pred.Tier]++
 			} else {
 				x.stats.SkipResident++
@@ -169,15 +174,14 @@ func (x *Executor) Submit(now vclock.Time, pred Prediction) {
 			x.stats.SkipCold++
 			continue
 		}
-		req := &issuedReq{stream: pred.Stream, tier: pred.Tier}
 		ok := x.backend.Fetch(now, key, func(arrival vclock.Time) {
-			x.onInjected(key, arrival)
+			x.onInjected(pk, arrival)
 		})
 		if !ok {
 			x.stats.SkipCold++
 			continue
 		}
-		x.reqs[key] = req
+		x.reqs.Put(pk, issuedReq{stream: pred.Stream, tier: pred.Tier})
 		x.stats.Issued++
 		x.stats.IssuedByTier[pred.Tier]++
 	}
@@ -191,7 +195,7 @@ func (x *Executor) submitBulk(now vclock.Time, pred Prediction) {
 	for _, vpn := range pred.Pages {
 		key := memsim.PageKey{PID: pred.PID, VPN: vpn}
 		x.stats.Requested++
-		if _, dup := x.reqs[key]; dup {
+		if x.reqs.Has(key.Pack()) {
 			x.stats.SkipInflight++
 			continue
 		}
@@ -213,23 +217,23 @@ func (x *Executor) submitBulk(now vclock.Time, pred Prediction) {
 		return
 	}
 	ok := x.backend.FetchBulk(now, eligible, func(key memsim.PageKey, arrival vclock.Time) {
-		x.onInjected(key, arrival)
+		x.onInjected(key.Pack(), arrival)
 	})
 	if !ok {
 		x.stats.SkipCold += uint64(len(eligible))
 		return
 	}
 	for _, key := range eligible {
-		x.reqs[key] = &issuedReq{stream: pred.Stream, tier: pred.Tier}
+		x.reqs.Put(key.Pack(), issuedReq{stream: pred.Stream, tier: pred.Tier})
 		x.stats.Issued++
 		x.stats.IssuedByTier[pred.Tier]++
 	}
 	x.stats.BulkRequests++
 }
 
-func (x *Executor) onInjected(key memsim.PageKey, arrival vclock.Time) {
-	req, ok := x.reqs[key]
-	if !ok {
+func (x *Executor) onInjected(pk uint64, arrival vclock.Time) {
+	req := x.reqs.Ptr(pk)
+	if req == nil {
 		return // already consumed as a late hit
 	}
 	req.landed = true
@@ -242,14 +246,15 @@ func (x *Executor) onInjected(key memsim.PageKey, arrival vclock.Time) {
 // knows its arrival time — uses this to let a demand fault wait on the
 // in-flight prefetch instead of issuing a duplicate read.
 func (x *Executor) Inflight(key memsim.PageKey) bool {
-	req, ok := x.reqs[key]
+	req, ok := x.reqs.Get(key.Pack())
 	return ok && !req.landed
 }
 
 // NoteLateHit records that a demand fault waited on an in-flight
 // prefetch. The page was useful but late: feedback pushes the offset out.
 func (x *Executor) NoteLateHit(key memsim.PageKey, now vclock.Time) {
-	req, ok := x.reqs[key]
+	pk := key.Pack()
+	req, ok := x.reqs.Get(pk)
 	if !ok {
 		return
 	}
@@ -257,13 +262,14 @@ func (x *Executor) NoteLateHit(key memsim.PageKey, now vclock.Time) {
 	x.stats.HitsByTier[req.tier]++
 	// Lead time is ≤ 0: the page had not arrived when it was needed.
 	x.algo.Feedback(req.stream, 0)
-	delete(x.reqs, key)
+	x.reqs.Delete(pk)
 }
 
 // OnFirstHit records the first touch of an injected page: the prefetch
 // paid off as a pure DRAM hit. Lead time feeds the offset controller.
 func (x *Executor) OnFirstHit(key memsim.PageKey, now vclock.Time) {
-	req, ok := x.reqs[key]
+	pk := key.Pack()
+	req, ok := x.reqs.Get(pk)
 	if !ok || !req.landed {
 		return
 	}
@@ -272,7 +278,7 @@ func (x *Executor) OnFirstHit(key memsim.PageKey, now vclock.Time) {
 	x.stats.HitsByTier[req.tier]++
 	x.stats.recordLead(lead)
 	x.algo.Feedback(req.stream, lead)
-	delete(x.reqs, key)
+	x.reqs.Delete(pk)
 }
 
 // OnEvicted records that a prefetched, injected page was reclaimed
@@ -282,13 +288,14 @@ func (x *Executor) OnFirstHit(key memsim.PageKey, now vclock.Time) {
 // over-early arrival; without this, offsets would only ever ratchet up
 // (late hits raise them, and wasted fetches would stay silent).
 func (x *Executor) OnEvicted(key memsim.PageKey) {
-	req, ok := x.reqs[key]
+	pk := key.Pack()
+	req, ok := x.reqs.Get(pk)
 	if !ok || !req.landed {
 		return
 	}
 	x.stats.Evicted++
 	x.algo.Feedback(req.stream, overEarlyLead)
-	delete(x.reqs, key)
+	x.reqs.Delete(pk)
 }
 
 // overEarlyLead is a lead time guaranteed to exceed any sane TMax,
@@ -297,7 +304,7 @@ const overEarlyLead = vclock.Duration(1 << 62)
 
 // IsPrefetched reports whether key is a landed, not-yet-hit prefetch.
 func (x *Executor) IsPrefetched(key memsim.PageKey) bool {
-	req, ok := x.reqs[key]
+	req, ok := x.reqs.Get(key.Pack())
 	return ok && req.landed
 }
 
@@ -314,7 +321,7 @@ type Prefetcher struct {
 
 	// Hot-recency tracking for §IV trace-informed eviction.
 	hotSeq    uint64
-	hotLast   map[memsim.PageKey]uint64
+	hotLast   *flatmap.Map[uint64]
 	hotWindow uint64
 
 	sharedDropped uint64
@@ -340,7 +347,7 @@ func NewPrefetcher(params Params, backend Backend) *Prefetcher {
 		Trainer:   tr,
 		Algo:      algo,
 		Exec:      NewExecutor(backend, algo, params),
-		hotLast:   make(map[memsim.PageKey]uint64),
+		hotLast:   flatmap.New[uint64](256),
 		hotWindow: uint64(params.EvictionWindow),
 	}
 }
@@ -351,8 +358,8 @@ func NewPrefetcher(params Params, backend Backend) *Prefetcher {
 func (p *Prefetcher) OnHotPage(now vclock.Time, pid memsim.PID, vpn memsim.VPN, shared bool) {
 	p.hotSeq++
 	key := memsim.PageKey{PID: pid, VPN: vpn}
-	p.hotLast[key] = p.hotSeq
-	if uint64(len(p.hotLast)) > 4*p.hotWindow {
+	p.hotLast.Put(key.Pack(), p.hotSeq)
+	if uint64(p.hotLast.Len()) > 4*p.hotWindow {
 		p.pruneHot()
 	}
 	if shared && p.dropShared() {
@@ -379,16 +386,14 @@ func (p *Prefetcher) dropShared() bool {
 func (p *Prefetcher) SharedDropped() uint64 { return p.sharedDropped }
 
 func (p *Prefetcher) pruneHot() {
-	for k, seq := range p.hotLast {
-		if p.hotSeq-seq > p.hotWindow {
-			delete(p.hotLast, k)
-		}
-	}
+	p.hotLast.RangeDelete(func(_ uint64, seq uint64) bool {
+		return p.hotSeq-seq <= p.hotWindow
+	})
 }
 
 // RecentlyHot reports whether the page was among the last
 // EvictionWindow hot page records — the §IV eviction advisor.
 func (p *Prefetcher) RecentlyHot(key memsim.PageKey) bool {
-	seq, ok := p.hotLast[key]
+	seq, ok := p.hotLast.Get(key.Pack())
 	return ok && p.hotSeq-seq <= p.hotWindow
 }

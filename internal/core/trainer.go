@@ -21,6 +21,11 @@ type Prediction struct {
 	PID    memsim.PID
 	// Pages are the VPNs to prefetch, Intensity-many, nearest first —
 	// or the whole bulk window when Bulk is set.
+	//
+	// Lifetime: Pages may alias a scratch buffer owned by the producing
+	// trainer and is valid only until its next Observe call. The
+	// executor consumes predictions synchronously; callers that retain
+	// one must copy Pages first.
 	Pages []memsim.VPN
 	// Bulk marks a §IV huge-space request: the executor should move the
 	// whole window with a single transfer.
@@ -67,7 +72,11 @@ type Trainer struct {
 	entries []sttEntry
 	tick    uint64
 	nextGen uint64
-	stats   TrainerStats
+	// pagesBuf backs non-bulk Prediction.Pages; reused across
+	// predictions so the steady-state hot-page path stays off the heap
+	// (see the lifetime note on Prediction.Pages).
+	pagesBuf []memsim.VPN
+	stats    TrainerStats
 }
 
 // NewTrainer builds a trainer; zero param fields take paper defaults.
@@ -154,11 +163,18 @@ func (t *Trainer) insert(pid memsim.PID, vpn memsim.VPN) {
 		t.stats.StreamsEvicted++
 	}
 	t.nextGen++
+	// Reuse the evicted entry's history backing: stream churn on
+	// irregular workloads would otherwise allocate two slices per churn.
+	vpns, strides := e.vpns[:0], e.strides[:0]
+	if cap(vpns) < t.params.HistoryLen {
+		vpns = make([]memsim.VPN, 0, t.params.HistoryLen)
+		strides = make([]memsim.Stride, 0, t.params.HistoryLen-1)
+	}
 	*e = sttEntry{
 		valid:   true,
 		pid:     pid,
-		vpns:    append(make([]memsim.VPN, 0, t.params.HistoryLen), vpn),
-		strides: make([]memsim.Stride, 0, t.params.HistoryLen-1),
+		vpns:    append(vpns, vpn),
+		strides: strides,
 		tick:    t.tick,
 		gen:     t.nextGen,
 		offset:  t.params.Policy.InitialOffset,
@@ -261,7 +277,7 @@ func (t *Trainer) tryBulk(idx int, vpn memsim.VPN, stride memsim.Stride, offset 
 // are skipped.
 func (t *Trainer) build(idx int, tier Tier, vpn memsim.VPN, unit, offset int64, k int, fixed int64) (Prediction, bool) {
 	e := &t.entries[idx]
-	pages := make([]memsim.VPN, 0, k)
+	pages := t.pagesBuf[:0]
 	for j := 0; j < k; j++ {
 		target := int64(vpn) + fixed + (offset+int64(j))*unit
 		if target <= 0 || target > int64(memsim.MaxVPN) {
@@ -269,6 +285,7 @@ func (t *Trainer) build(idx int, tier Tier, vpn memsim.VPN, unit, offset int64, 
 		}
 		pages = append(pages, memsim.VPN(target))
 	}
+	t.pagesBuf = pages
 	if len(pages) == 0 {
 		return Prediction{}, false
 	}

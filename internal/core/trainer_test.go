@@ -13,6 +13,8 @@ func feed(t *Trainer, pid memsim.PID, seq []memsim.VPN) []Prediction {
 	var preds []Prediction
 	for i, v := range seq {
 		if p, ok := t.Observe(vclock.Time(i*1000), pid, v); ok {
+			// Pages aliases the trainer's scratch; copy before retaining.
+			p.Pages = append([]memsim.VPN(nil), p.Pages...)
 			preds = append(preds, p)
 		}
 	}
@@ -78,9 +80,11 @@ func TestPageClusteringSeparatesDistantStreams(t *testing.T) {
 	var preds []Prediction
 	for i := 0; i < 20; i++ {
 		if p, ok := tr.Observe(0, 1, memsim.VPN(1000+i*2)); ok {
+			p.Pages = append([]memsim.VPN(nil), p.Pages...)
 			preds = append(preds, p)
 		}
 		if p, ok := tr.Observe(0, 1, memsim.VPN(9000+i)); ok {
+			p.Pages = append([]memsim.VPN(nil), p.Pages...)
 			preds = append(preds, p)
 		}
 	}

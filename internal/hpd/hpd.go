@@ -12,6 +12,7 @@ package hpd
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hopp/internal/memsim"
 )
@@ -83,21 +84,48 @@ func (s Stats) HotRatio() float64 {
 	return float64(s.HotPages) / float64(s.Accesses)
 }
 
-type entry struct {
-	ppn   memsim.PPN
-	count int
-	send  bool
-	valid bool
-	tick  uint64
-}
+// invalidPPN marks an empty way. Real PPNs are bounded far below 2^63.
+const invalidPPN = ^uint64(0)
+
+// identityOrder is the nibble permutation 15,14,...,1,0 — the initial
+// recency order for a 16-way set (way i at nibble i).
+const identityOrder = 0xFEDCBA9876543210
 
 // Table is the hot page detection table.
+//
+// Entries live in parallel flat arrays (set s occupies indexes
+// [s*ways, (s+1)*ways)): the match scan — run once per LLC miss —
+// touches only the compact PPN array instead of striding over a
+// struct-of-everything layout. For associativities up to 16, LRU state
+// is a packed recency permutation per set (4-bit way indexes, MRU at
+// nibble 0) plus a count of valid ways, as in package cachesim: empty
+// ways sit at the LRU end (entries are never invalidated individually),
+// so a miss claims its victim with a single rotate. Wider tables fall
+// back to per-way tick timestamps. Both implement the same policy:
+// empty ways first, then true LRU.
 type Table struct {
 	cfg   Config
-	sets  [][]entry
-	mask  uint64
-	tick  uint64
-	stats Stats
+	ppns  []uint64 // invalidPPN = empty way
+	ord   []uint64 // packed recency permutation per set (ways ≤ 16)
+	valid []uint8  // count of valid ways per set (ways ≤ 16)
+	ticks []uint64 // fallback LRU timestamps (ways > 16 only)
+	// counts holds the per-entry access count; hotSent (negative) marks
+	// an entry whose hot record was already emitted, folding the old
+	// separate send-bit array into the counter the match path loads
+	// anyway.
+	counts   []int32
+	ways     int
+	lruShift uint
+	mask     uint64
+	tick     uint64
+	// lastPPN/lastIdx short-circuit repeated accesses to one page — the
+	// dominant LLC-miss pattern, since a page has 64 cachelines. The
+	// entry is necessarily still MRU in its set (any intervening access
+	// would have changed lastPPN), so the hit skips scan and touch. Kept
+	// coherent because install always reassigns both fields.
+	lastPPN uint64
+	lastIdx int
+	stats   Stats
 }
 
 // New builds a table. It returns an error on invalid geometry so
@@ -107,12 +135,33 @@ func New(cfg Config) (*Table, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	sets := make([][]entry, cfg.Sets)
-	backing := make([]entry, cfg.Sets*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	n := cfg.Sets * cfg.Ways
+	t := &Table{
+		cfg:    cfg,
+		ppns:   make([]uint64, n),
+		counts: make([]int32, n),
+		ways:   cfg.Ways,
+		mask:   uint64(cfg.Sets - 1),
 	}
-	return &Table{cfg: cfg, sets: sets, mask: uint64(cfg.Sets - 1)}, nil
+	for i := range t.ppns {
+		t.ppns[i] = invalidPPN
+	}
+	t.lastPPN = invalidPPN
+	if cfg.Ways <= 16 {
+		t.ord = make([]uint64, cfg.Sets)
+		t.valid = make([]uint8, cfg.Sets)
+		t.lruShift = uint(4 * (cfg.Ways - 1))
+		init := uint64(identityOrder)
+		if cfg.Ways < 16 {
+			init &= uint64(1)<<uint(4*cfg.Ways) - 1
+		}
+		for i := range t.ord {
+			t.ord[i] = init
+		}
+	} else {
+		t.ticks = make([]uint64, n)
+	}
+	return t, nil
 }
 
 // MustNew is New for known-good configs.
@@ -135,65 +184,136 @@ func (t *Table) Stats() Stats { return t.stats }
 // forwarded to the RPT cache. WRITE misses must be filtered out by the
 // caller (§III-B omits WRITEs).
 func (t *Table) Access(ppn memsim.PPN) (hot bool) {
-	t.tick++
 	t.stats.Accesses++
-	set := t.sets[uint64(ppn)&t.mask]
+	if uint64(ppn) == t.lastPPN {
+		// Still MRU in its set — no recency state needs refreshing.
+		return t.onMatch(t.lastIdx)
+	}
+	return t.accessSlow(ppn)
+}
 
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.ppn == ppn {
-			e.tick = t.tick
-			if e.send {
-				t.stats.SendSuppressed++
-				return false
-			}
-			e.count++
-			if e.count >= t.cfg.Threshold {
-				e.send = true
-				t.stats.HotPages++
-				return true
-			}
-			return false
+// accessSlow is the set lookup behind Access's one-entry filter, split
+// out so the filter hit — the overwhelmingly common case under
+// consecutive same-page misses — inlines into the caller.
+func (t *Table) accessSlow(ppn memsim.PPN) (hot bool) {
+	set := int(uint64(ppn) & t.mask)
+	base := set * t.ways
+	if t.ticks != nil {
+		return t.accessWide(set, ppn)
+	}
+	ppns := t.ppns[base : base+t.ways]
+	for i := range ppns {
+		if ppns[i] == uint64(ppn) {
+			t.lastPPN, t.lastIdx = uint64(ppn), base+i
+			t.touch(set, i)
+			return t.onMatch(base + i)
 		}
 	}
-	v := &set[t.pickVictim(set)]
-	if v.valid {
+	// The LRU-most way is the victim either way: empty ways occupy the
+	// LRU end of the permutation (entries are never invalidated
+	// individually), so the rotate claims an empty way while any remain.
+	o := t.ord[set]
+	w := int(o >> t.lruShift)
+	t.ord[set] = (o&(uint64(1)<<t.lruShift-1))<<4 | uint64(w)
+	if int(t.valid[set]) == t.ways {
 		t.stats.Evictions++
-		if !v.send {
+		if t.counts[base+w] >= 0 {
 			t.stats.EvictedBeforeHot++
 		}
+	} else {
+		t.valid[set]++
 	}
-	*v = entry{ppn: ppn, count: 1, valid: true, tick: t.tick}
-	t.stats.Insertions++
-	if t.cfg.Threshold == 1 {
-		v.send = true
+	return t.install(base+w, ppn)
+}
+
+// nibbleBroadcast spreads one nibble to all sixteen positions.
+const nibbleBroadcast = 0x1111111111111111
+
+// touch moves way w to the MRU end of set's recency permutation; w's
+// position is found with a zero-nibble SWAR scan of o^(w·0x11…1).
+func (t *Table) touch(set, w int) {
+	o := t.ord[set]
+	if int(o&0xF) == w {
+		return // already MRU
+	}
+	x := o ^ uint64(w)*nibbleBroadcast
+	m := (x - nibbleBroadcast) &^ x & (nibbleBroadcast << 3)
+	p := uint(bits.TrailingZeros64(m)) &^ 3
+	low := o & (uint64(1)<<p - 1)
+	t.ord[set] = o&^(uint64(1)<<(p+4)-1) | low<<4 | uint64(w)
+}
+
+// hotSent in counts marks an entry past the threshold whose record was
+// emitted; further accesses are suppressed until eviction (§III-B).
+const hotSent = int32(-1)
+
+// onMatch applies one access to the already-touched entry at flat
+// index v and reports whether it just crossed the hot threshold.
+func (t *Table) onMatch(v int) bool {
+	n := t.counts[v]
+	if n < 0 {
+		t.stats.SendSuppressed++
+		return false
+	}
+	n++
+	if int(n) >= t.cfg.Threshold {
+		t.counts[v] = hotSent
 		t.stats.HotPages++
 		return true
 	}
+	t.counts[v] = n
 	return false
 }
 
-func (t *Table) pickVictim(set []entry) int {
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			return i
+// accessWide is the ways>16 fallback using per-way timestamps. The
+// first invalid slot wins, else the lowest tick.
+func (t *Table) accessWide(set int, ppn memsim.PPN) bool {
+	t.tick++
+	base := set * t.ways
+	ppns := t.ppns[base : base+t.ways]
+	ticks := t.ticks[base : base+t.ways]
+	victim, victimValid := 0, true
+	for i := range ppns {
+		if ppns[i] == uint64(ppn) {
+			ticks[i] = t.tick
+			t.lastPPN, t.lastIdx = uint64(ppn), base+i
+			return t.onMatch(base + i)
 		}
-		if set[i].tick < set[victim].tick {
+		if victimValid && (ppns[i] == invalidPPN || ticks[i] < ticks[victim]) {
 			victim = i
+			victimValid = ppns[i] != invalidPPN
 		}
 	}
-	return victim
+	v := base + victim
+	if victimValid {
+		t.stats.Evictions++
+		if t.counts[v] >= 0 {
+			t.stats.EvictedBeforeHot++
+		}
+	}
+	ticks[victim] = t.tick
+	return t.install(v, ppn)
+}
+
+func (t *Table) install(v int, ppn memsim.PPN) bool {
+	t.lastPPN, t.lastIdx = uint64(ppn), v
+	t.ppns[v] = uint64(ppn)
+	t.stats.Insertions++
+	if t.cfg.Threshold == 1 {
+		t.counts[v] = hotSent
+		t.stats.HotPages++
+		return true
+	}
+	t.counts[v] = 1
+	return false
 }
 
 // Tracked returns how many valid entries the table currently holds.
 func (t *Table) Tracked() int {
 	n := 0
-	for _, set := range t.sets {
-		for _, e := range set {
-			if e.valid {
-				n++
-			}
+	for _, p := range t.ppns {
+		if p != invalidPPN {
+			n++
 		}
 	}
 	return n
@@ -201,10 +321,21 @@ func (t *Table) Tracked() int {
 
 // Reset clears entries and counters.
 func (t *Table) Reset() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = entry{}
-		}
+	for i := range t.ppns {
+		t.ppns[i] = invalidPPN
+		t.counts[i] = 0
+	}
+	t.lastPPN, t.lastIdx = invalidPPN, 0
+	init := uint64(identityOrder)
+	if t.ways < 16 {
+		init &= uint64(1)<<uint(4*t.ways) - 1
+	}
+	for i := range t.ord {
+		t.ord[i] = init
+		t.valid[i] = 0
+	}
+	for i := range t.ticks {
+		t.ticks[i] = 0
 	}
 	t.stats = Stats{}
 	t.tick = 0

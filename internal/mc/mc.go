@@ -96,10 +96,16 @@ type Controller struct {
 	rptTable *rpt.Table
 	rptCache *rpt.Cache
 
-	buf   []HotPage
-	head  int
-	tail  int
-	count int
+	// buf is the hot page area, a ring of up to bufCap records. It
+	// starts small and doubles on demand while below bufCap, so an idle
+	// or lightly-loaded controller never pays for the full reserved
+	// area; records are dropped (oldest first) only once the ring has
+	// reached bufCap and is full — exactly the fixed-size behavior.
+	buf    []HotPage
+	bufCap int
+	head   int
+	tail   int
+	count  int
 
 	stats Stats
 
@@ -121,11 +127,16 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.BufferCap <= 0 {
 		cfg.BufferCap = 1 << 16
 	}
+	initial := cfg.BufferCap
+	if initial > 256 {
+		initial = 256
+	}
 	return &Controller{
 		hpd:      table,
 		rptTable: rptTable,
 		rptCache: cache,
-		buf:      make([]HotPage, cfg.BufferCap),
+		buf:      make([]HotPage, initial),
+		bufCap:   cfg.BufferCap,
 	}, nil
 }
 
@@ -145,7 +156,6 @@ func MustNew(cfg Config) *Controller {
 // simulation does not route through ObserveMiss at all; RDMA-completion
 // DMA writes likewise bypass it.
 func (c *Controller) ObserveMiss(now vclock.Time, pa memsim.PAddr, write bool) {
-	c.stats.MissBytes += memsim.LineSize
 	if write {
 		c.stats.WriteMisses++
 	} else {
@@ -171,7 +181,6 @@ func (c *Controller) ObserveMiss(now vclock.Time, pa memsim.PAddr, write bool) {
 	}
 	c.push(hp)
 	c.stats.HotEmitted++
-	c.stats.HotBytes += HotRecordSize
 }
 
 func (c *Controller) accountRPT() {
@@ -181,13 +190,38 @@ func (c *Controller) accountRPT() {
 
 func (c *Controller) push(hp HotPage) {
 	if c.count == len(c.buf) {
-		c.tail = (c.tail + 1) % len(c.buf)
-		c.count--
-		c.stats.Dropped++
+		if len(c.buf) < c.bufCap {
+			c.grow()
+		} else {
+			c.tail++
+			if c.tail == len(c.buf) {
+				c.tail = 0
+			}
+			c.count--
+			c.stats.Dropped++
+		}
 	}
 	c.buf[c.head] = hp
-	c.head = (c.head + 1) % len(c.buf)
+	c.head++
+	if c.head == len(c.buf) {
+		c.head = 0
+	}
 	c.count++
+}
+
+// grow doubles the ring (clamped to bufCap), linearizing so the oldest
+// record lands at index 0.
+func (c *Controller) grow() {
+	n := 2 * len(c.buf)
+	if n > c.bufCap {
+		n = c.bufCap
+	}
+	grown := make([]HotPage, n)
+	m := copy(grown, c.buf[c.tail:])
+	copy(grown[m:], c.buf[:c.tail])
+	c.buf = grown
+	c.tail = 0
+	c.head = c.count
 }
 
 // Drain removes and returns up to max hot page records (all when
@@ -198,22 +232,41 @@ func (c *Controller) Drain(max int) []HotPage {
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]HotPage, 0, n)
+	return c.DrainInto(make([]HotPage, 0, n), max)
+}
+
+// DrainInto is Drain appending into a caller-owned buffer, the
+// allocation-free form the simulator hot loop uses: the machine hands
+// the same backing slice back on every drain, so steady-state draining
+// costs no heap traffic.
+func (c *Controller) DrainInto(buf []HotPage, max int) []HotPage {
+	n := c.count
+	if max > 0 && max < n {
+		n = max
+	}
 	for i := 0; i < n; i++ {
-		out = append(out, c.buf[c.tail])
-		c.tail = (c.tail + 1) % len(c.buf)
+		buf = append(buf, c.buf[c.tail])
+		c.tail++
+		if c.tail == len(c.buf) {
+			c.tail = 0
+		}
 	}
 	c.count -= n
-	return out
+	return buf
 }
 
 // Pending returns the number of undrained hot page records.
 func (c *Controller) Pending() int { return c.count }
 
-// Stats returns a copy of the ledger.
+// Stats returns a copy of the ledger. MissBytes and HotBytes are pure
+// functions of the miss and emit counters, so ObserveMiss does not
+// maintain them per event; they are filled in here.
 func (c *Controller) Stats() Stats {
 	c.accountRPT()
-	return c.stats
+	s := c.stats
+	s.MissBytes = memsim.LineSize * (s.ReadMisses + s.WriteMisses)
+	s.HotBytes = HotRecordSize * s.HotEmitted
+	return s
 }
 
 // HPDStats exposes the hot page detection table's counters.

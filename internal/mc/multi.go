@@ -18,6 +18,14 @@ type Tracker interface {
 	ObserveMiss(now vclock.Time, pa memsim.PAddr, write bool)
 	// Drain removes up to max buffered hot page records (all if max<=0).
 	Drain(max int) []HotPage
+	// DrainInto is Drain appending into a caller-owned buffer, so a
+	// steady-state drain loop allocates nothing.
+	DrainInto(buf []HotPage, max int) []HotPage
+	// Pending reports how many hot page records await draining. The
+	// machine gates DrainInto on it, keeping the common no-hot-page DRAM
+	// miss to a counter check. Implementations may do work to answer
+	// (the §V prototype runs its software pipeline).
+	Pending() int
 	// SetMapping is the set_pte_at maintenance hook.
 	SetMapping(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN, shared bool, huge rpt.HugeClass)
 	// ClearMapping is the pte_clear maintenance hook.
@@ -126,17 +134,37 @@ func (m *Multi) Drain(max int) []HotPage {
 	if len(m.channels) == 1 {
 		return m.channels[0].Drain(max)
 	}
-	var out []HotPage
-	for _, c := range m.channels {
-		out = append(out, c.Drain(0)...)
+	return m.DrainInto(nil, max)
+}
+
+// DrainInto implements Tracker: channels are appended in order and the
+// appended region stably sorted by timestamp, so the merged sequence is
+// identical to Drain's.
+func (m *Multi) DrainInto(buf []HotPage, max int) []HotPage {
+	if len(m.channels) == 1 {
+		return m.channels[0].DrainInto(buf, max)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
-	if max > 0 && len(out) > max {
+	start := len(buf)
+	for _, c := range m.channels {
+		buf = c.DrainInto(buf, 0)
+	}
+	merged := buf[start:]
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Time < merged[j].Time })
+	if max > 0 && len(merged) > max {
 		// Requeue semantics are not needed by any caller; the machine
 		// always drains fully. Truncate defensively.
-		out = out[:max]
+		buf = buf[:start+max]
 	}
-	return out
+	return buf
+}
+
+// Pending implements Tracker: the sum of per-channel backlogs.
+func (m *Multi) Pending() int {
+	n := 0
+	for _, c := range m.channels {
+		n += c.Pending()
+	}
+	return n
 }
 
 // SetMapping implements Tracker: maintenance broadcasts to every

@@ -76,6 +76,17 @@ type PageKey struct {
 	VPN VPN
 }
 
+// Pack flattens the key into one uint64 (VPN in the high bits, PID in
+// the low 16) for flat-hash containers. VPNs are bounded by the RPT's
+// 40-bit field, so the packed value never reaches all-ones — which
+// those containers reserve as their empty-slot sentinel.
+func (k PageKey) Pack() uint64 {
+	if k.VPN > MaxVPN {
+		panic("memsim: VPN beyond the packable 40-bit range")
+	}
+	return uint64(k.VPN)<<16 | uint64(k.PID)
+}
+
 // Stride is a signed distance between two VPNs, the unit in which all of
 // HoPP's stream detection operates (§III-D).
 type Stride int64

@@ -146,6 +146,26 @@ func (p *Pipeline) Drain(max int) []mc.HotPage {
 	return out
 }
 
+// DrainInto implements mc.Tracker.
+func (p *Pipeline) DrainInto(buf []mc.HotPage, max int) []mc.HotPage {
+	p.process()
+	n := len(p.out)
+	if max > 0 && max < n {
+		n = max
+	}
+	buf = append(buf, p.out[:n]...)
+	p.out = p.out[n:]
+	return buf
+}
+
+// Pending implements mc.Tracker. Answering requires running the
+// software pipeline (draining the HMTT capture ring through the HPD),
+// exactly as the hot-page-area read in Drain does.
+func (p *Pipeline) Pending() int {
+	p.process()
+	return len(p.out)
+}
+
 // SetMapping implements mc.Tracker (the kernel callback path of §V).
 func (p *Pipeline) SetMapping(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN, shared bool, huge rpt.HugeClass) {
 	p.softRPT[ppn] = rpt.Entry{PID: pid, VPN: vpn, Shared: shared, Huge: huge, Valid: true}

@@ -11,6 +11,8 @@ package rdma
 
 import (
 	"fmt"
+
+	"hopp/internal/flatmap"
 	"math/rand"
 
 	"hopp/internal/memsim"
@@ -121,7 +123,7 @@ func (f *Fabric) Utilization(horizon vclock.Time) float64 {
 // matching swap semantics where the remote copy stays valid until
 // overwritten.
 type Node struct {
-	pages map[memsim.PageKey]struct{}
+	pages *flatmap.Map[struct{}]
 	cap   int
 
 	reads    uint64
@@ -132,16 +134,17 @@ type Node struct {
 // NewNode builds a node holding at most capPages pages; capPages <= 0
 // means unbounded.
 func NewNode(capPages int) *Node {
-	return &Node{pages: make(map[memsim.PageKey]struct{}), cap: capPages}
+	return &Node{pages: flatmap.New[struct{}](256), cap: capPages}
 }
 
 // Write stores a page, as a reclaim writeback does. It fails when the
 // node is full.
 func (n *Node) Write(k memsim.PageKey) error {
-	if _, ok := n.pages[k]; !ok && n.cap > 0 && len(n.pages) >= n.cap {
+	pk := k.Pack()
+	if !n.pages.Has(pk) && n.cap > 0 && n.pages.Len() >= n.cap {
 		return fmt.Errorf("rdma: memory node full (%d pages)", n.cap)
 	}
-	n.pages[k] = struct{}{}
+	n.pages.Put(pk, struct{}{})
 	n.writes++
 	return nil
 }
@@ -150,7 +153,7 @@ func (n *Node) Write(k memsim.PageKey) error {
 // holds the page.
 func (n *Node) Read(k memsim.PageKey) bool {
 	n.reads++
-	if _, ok := n.pages[k]; ok {
+	if n.pages.Has(k.Pack()) {
 		return true
 	}
 	n.readMiss++
@@ -159,15 +162,14 @@ func (n *Node) Read(k memsim.PageKey) bool {
 
 // Has reports page presence without counting a read.
 func (n *Node) Has(k memsim.PageKey) bool {
-	_, ok := n.pages[k]
-	return ok
+	return n.pages.Has(k.Pack())
 }
 
 // Free drops a page, as when its owning process exits.
-func (n *Node) Free(k memsim.PageKey) { delete(n.pages, k) }
+func (n *Node) Free(k memsim.PageKey) { n.pages.Delete(k.Pack()) }
 
 // Used returns resident page count.
-func (n *Node) Used() int { return len(n.pages) }
+func (n *Node) Used() int { return n.pages.Len() }
 
 // Reads returns total read ops (including misses).
 func (n *Node) Reads() uint64 { return n.reads }

@@ -172,10 +172,15 @@ type cline struct {
 }
 
 // Cache is the write-back RPT cache inside the memory controller.
+// Lines live in one flat slice (set s occupies
+// lines[s*ways : (s+1)*ways]); set selection is mask-indexed (the
+// constructor enforces a power-of-two set count).
 type Cache struct {
 	table   *Table
-	sets    [][]cline
+	lines   []cline
+	ways    int
 	numSets int
+	setMask uint64
 	tick    uint64
 	stats   CacheStats
 }
@@ -196,12 +201,13 @@ func NewCache(table *Table, cfg CacheConfig) (*Cache, error) {
 	if numSets&(numSets-1) != 0 {
 		return nil, fmt.Errorf("rpt: cache set count %d must be a power of two", numSets)
 	}
-	sets := make([][]cline, numSets)
-	backing := make([]cline, entries)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
-	return &Cache{table: table, sets: sets, numSets: numSets}, nil
+	return &Cache{
+		table:   table,
+		lines:   make([]cline, entries),
+		ways:    cfg.Ways,
+		numSets: numSets,
+		setMask: uint64(numSets - 1),
+	}, nil
 }
 
 // MustNewCache is NewCache for known-good configs.
@@ -255,20 +261,19 @@ func (c *Cache) Invalidate(ppn memsim.PPN) {
 
 // Flush writes back every dirty line, e.g. at shutdown.
 func (c *Cache) Flush() {
-	for si := range c.sets {
-		for i := range c.sets[si] {
-			l := &c.sets[si][i]
-			if l.valid && l.dirty {
-				c.table.Store(l.ppn, l.packed)
-				c.stats.Writebacks++
-				l.dirty = false
-			}
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.dirty {
+			c.table.Store(l.ppn, l.packed)
+			c.stats.Writebacks++
+			l.dirty = false
 		}
 	}
 }
 
 func (c *Cache) find(ppn memsim.PPN) (set []cline, hit *cline) {
-	set = c.sets[uint64(ppn)&uint64(c.numSets-1)]
+	base := int(uint64(ppn)&c.setMask) * c.ways
+	set = c.lines[base : base+c.ways]
 	for i := range set {
 		if set[i].valid && set[i].ppn == ppn {
 			return set, &set[i]

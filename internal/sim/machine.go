@@ -83,20 +83,37 @@ func (c *Config) fill() {
 }
 
 type appState struct {
-	pid      memsim.PID
-	gen      workload.Generator
+	pid memsim.PID
+	gen workload.Generator
+	// base/prog hold gen's concrete value when it is a *workload.Base or
+	// a frozen-stream program replayer — together the overwhelmingly
+	// common generators — letting step call Next without the interface
+	// dispatch.
+	base     *workload.Base
+	prog     *workload.ProgramReplay
 	regions  []workload.Region
 	now      vclock.Time
 	done     bool
 	finished vclock.Time
 }
 
+// inflightFetch tracks one outstanding prefetch read. Structs are
+// pooled on Machine.infFree: each carries a landing closure built once
+// at allocation (closing over the struct itself), so launching a
+// prefetch in steady state allocates neither the struct nor a fresh
+// callback.
 type inflightFetch struct {
+	key     memsim.PageKey
 	arrival vclock.Time
 	inject  bool
 	// onInjected is HoPP's execution-engine callback (nil for demand-path
 	// prefetchers).
 	onInjected func(vclock.Time)
+	// land is the prebuilt landing-event callback; it reads key from the
+	// struct, so it stays valid across pool reuses.
+	land func(vclock.Time)
+	// next links the freelist.
+	next *inflightFetch
 }
 
 // Machine is one simulated compute node plus its remote memory node.
@@ -107,8 +124,16 @@ type Machine struct {
 	fabric *rdma.Fabric
 	remote *rdma.Node
 	caches *cachesim.Hierarchy
+	// l2/llc are the hierarchy's two levels, held directly so memAccess
+	// walks them without the Hierarchy dispatch call. Machines always
+	// model exactly this two-level shape.
+	l2, llc *cachesim.Cache
 
-	mcCtl     mc.Tracker       // nil unless System.HoPP
+	mcCtl mc.Tracker // nil unless System.HoPP
+	// mcSingle devirtualizes the common one-controller machine: when the
+	// tracker is a plain *mc.Controller, the per-miss observe/pending
+	// calls go straight to it instead of through the interface.
+	mcSingle  *mc.Controller
 	pref      *core.Prefetcher // nil unless System.HoPP
 	faultPref swap.Prefetcher  // nil for NoPrefetch
 
@@ -116,7 +141,42 @@ type Machine struct {
 	apps     []*appState
 	inflight map[memsim.PageKey]*inflightFetch
 
+	// regionsByPID indexes each app's workload regions by PID (PIDs are
+	// 1..n), so region queries skip the app scan.
+	regionsByPID [][]workload.Region
+	// active is RunContext's scratch list of not-yet-finished apps.
+	active []*appState
+	// hotBuf and victimBuf are reused drain buffers for the per-access
+	// hot loop (see DESIGN.md "Hot-path invariants").
+	hotBuf    []mc.HotPage
+	victimBuf []vmm.Victim
+	// infFree heads the inflightFetch freelist.
+	infFree *inflightFetch
+
 	met Metrics
+}
+
+// newInflight pops the freelist (or allocates); the caller sets every
+// field except land and next.
+func (m *Machine) newInflight() *inflightFetch {
+	inf := m.infFree
+	if inf != nil {
+		m.infFree = inf.next
+		inf.next = nil
+		return inf
+	}
+	inf = &inflightFetch{}
+	inf.land = func(t vclock.Time) { m.landPrefetch(inf.key, inf, t) }
+	return inf
+}
+
+// freeInflight recycles a landed fetch. The landing event has already
+// fired (or will never fire), so the struct cannot be reached from the
+// event queue.
+func (m *Machine) freeInflight(inf *inflightFetch) {
+	inf.onInjected = nil
+	inf.next = m.infFree
+	m.infFree = inf
 }
 
 // New builds a machine running the given workloads (one process each,
@@ -126,21 +186,23 @@ func New(cfg Config, gens ...workload.Generator) (*Machine, error) {
 		return nil, fmt.Errorf("sim: no workloads")
 	}
 	cfg.fill()
+	l2 := cachesim.New(cachesim.Config{Name: "L2", SizeBytes: cfg.L2Bytes, Ways: 8})
+	llc := cachesim.New(cachesim.Config{Name: "LLC", SizeBytes: cfg.LLCBytes, Ways: 16})
 	m := &Machine{
-		cfg:    cfg,
-		costs:  cfg.Costs,
-		fabric: rdma.NewFabric(cfg.Fabric),
-		remote: rdma.NewNode(0),
-		caches: cachesim.NewHierarchy(
-			cachesim.New(cachesim.Config{Name: "L2", SizeBytes: cfg.L2Bytes, Ways: 8}),
-			cachesim.New(cachesim.Config{Name: "LLC", SizeBytes: cfg.LLCBytes, Ways: 16}),
-		),
+		cfg:      cfg,
+		costs:    cfg.Costs,
+		fabric:   rdma.NewFabric(cfg.Fabric),
+		remote:   rdma.NewNode(0),
+		caches:   cachesim.NewHierarchy(l2, llc),
+		l2:       l2,
+		llc:      llc,
 		inflight: make(map[memsim.PageKey]*inflightFetch),
 	}
 	m.vm = vmm.New(vmm.Config{
 		ChargePrefetched: cfg.System.ChargePrefetched,
 		LazyLRU:          cfg.LazyLRU,
 	})
+	m.regionsByPID = make([][]workload.Region, len(gens)+1)
 	for i, g := range gens {
 		pid := memsim.PID(i + 1)
 		limit := 0
@@ -154,7 +216,14 @@ func New(cfg Config, gens ...workload.Generator) (*Machine, error) {
 			return nil, err
 		}
 		g.Reset(cfg.Seed + int64(i)*101)
-		m.apps = append(m.apps, &appState{pid: pid, gen: g, regions: g.Regions()})
+		regions := g.Regions()
+		for _, r := range regions {
+			m.vm.Presize(pid, r.Start, r.End())
+		}
+		m.regionsByPID[pid] = regions
+		base, _ := g.(*workload.Base)
+		prog, _ := g.(*workload.ProgramReplay)
+		m.apps = append(m.apps, &appState{pid: pid, gen: g, base: base, prog: prog, regions: regions})
 	}
 	if cfg.System.HoPP {
 		var ctl mc.Tracker
@@ -180,6 +249,7 @@ func New(cfg Config, gens ...workload.Generator) (*Machine, error) {
 				return nil, err
 			}
 			ctl = single
+			m.mcSingle = single
 		}
 		m.mcCtl = ctl
 		m.vm.OnSetPTE = func(ppn memsim.PPN, pid memsim.PID, vpn memsim.VPN) {
@@ -211,14 +281,12 @@ func MustNew(cfg Config, gens ...workload.Generator) *Machine {
 // sharedRegion reports whether the page lies in a region its workload
 // declared shared.
 func (m *Machine) sharedRegion(key memsim.PageKey) bool {
-	for _, a := range m.apps {
-		if a.pid != key.PID {
-			continue
-		}
-		for _, r := range a.regions {
-			if r.Contains(key.VPN) {
-				return r.Shared
-			}
+	if int(key.PID) >= len(m.regionsByPID) {
+		return false
+	}
+	for _, r := range m.regionsByPID[key.PID] {
+		if r.Contains(key.VPN) {
+			return r.Shared
 		}
 	}
 	return false
@@ -226,14 +294,12 @@ func (m *Machine) sharedRegion(key memsim.PageKey) bool {
 
 // Region implements swap.RegionResolver for the VMA prefetcher.
 func (m *Machine) Region(key memsim.PageKey) (memsim.VPN, memsim.VPN, bool) {
-	for _, a := range m.apps {
-		if a.pid != key.PID {
-			continue
-		}
-		for _, r := range a.regions {
-			if r.Contains(key.VPN) {
-				return r.Start, r.End(), true
-			}
+	if int(key.PID) >= len(m.regionsByPID) {
+		return 0, 0, false
+	}
+	for _, r := range m.regionsByPID[key.PID] {
+		if r.Contains(key.VPN) {
+			return r.Start, r.End(), true
 		}
 	}
 	return 0, 0, false
@@ -257,28 +323,60 @@ const ctxCheckInterval = 4096
 // metrics are partial and must not be compared against completed ones.
 func (m *Machine) RunContext(ctx context.Context) (Metrics, error) {
 	done := ctx.Done()
-	for {
-		if done != nil && m.met.Accesses%ctxCheckInterval == 0 {
-			select {
-			case <-done:
-				return m.met, ctx.Err()
-			default:
+	// active holds the not-yet-finished apps in registration order, so
+	// next-app selection scans live apps only — and the dominant 1- and
+	// 2-app configurations skip the scan entirely. Ties break toward the
+	// earliest-registered app, exactly as the old all-apps scan did
+	// (strictly-Before comparisons against the earlier candidate).
+	active := m.active[:0]
+	for _, a := range m.apps {
+		if !a.done {
+			active = append(active, a)
+		}
+	}
+	m.active = active
+	// Poll on the first iteration (matching the old Accesses%interval==0
+	// check at access zero), then every ctxCheckInterval iterations.
+	ctxCountdown := 1
+	for len(active) > 0 {
+		if done != nil {
+			if ctxCountdown--; ctxCountdown <= 0 {
+				ctxCountdown = ctxCheckInterval
+				select {
+				case <-done:
+					return m.met, ctx.Err()
+				default:
+				}
 			}
 		}
 		var next *appState
-		for _, a := range m.apps {
-			if a.done {
-				continue
+		switch len(active) {
+		case 1:
+			next = active[0]
+		case 2:
+			next = active[0]
+			if active[1].now.Before(next.now) {
+				next = active[1]
 			}
-			if next == nil || a.now.Before(next.now) {
-				next = a
+		default:
+			next = active[0]
+			for _, a := range active[1:] {
+				if a.now.Before(next.now) {
+					next = a
+				}
 			}
-		}
-		if next == nil {
-			break
 		}
 		if err := m.step(next); err != nil {
 			return m.met, err
+		}
+		if next.done {
+			for i, a := range active {
+				if a == next {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+			m.active = active
 		}
 		if m.met.Accesses > m.cfg.MaxAccesses {
 			return m.met, fmt.Errorf("sim: exceeded MaxAccesses=%d", m.cfg.MaxAccesses)
@@ -318,7 +416,16 @@ func (m *Machine) finalize() {
 }
 
 func (m *Machine) step(a *appState) error {
-	acc, ok := a.gen.Next()
+	var acc workload.Access
+	var ok bool
+	switch {
+	case a.base != nil:
+		acc, ok = a.base.Next()
+	case a.prog != nil:
+		acc, ok = a.prog.Next()
+	default:
+		acc, ok = a.gen.Next()
+	}
 	if !ok {
 		a.done = true
 		a.finished = a.now
@@ -326,12 +433,28 @@ func (m *Machine) step(a *appState) error {
 	}
 	m.met.Accesses++
 	a.now = a.now.Add(acc.Think)
-	m.queue.RunUntil(a.now)
+	// Peek before calling RunUntil: while a prefetch is in flight the
+	// queue is non-empty for thousands of accesses, but its event is due
+	// on almost none of them, and the inlined peek is much cheaper than
+	// the call.
+	if t, ok := m.queue.PeekTime(); ok && !t.After(a.now) {
+		m.queue.RunUntil(a.now)
+	}
 
 	key := memsim.PageKey{PID: a.pid, VPN: acc.Addr.Page()}
-	switch m.vm.Lookup(key) {
+	// Access fuses classification with the mapped-page Touch (LRU
+	// refresh, injected-flag consumption) in one page-table walk.
+	state, ppn, injected := m.vm.Access(key)
+	switch state {
 	case vmm.Mapped:
-		return m.accessMapped(a, key, acc)
+		if injected {
+			m.met.InjectedHits++
+			if m.pref != nil {
+				m.pref.Exec.OnFirstHit(key, a.now)
+			}
+		}
+		m.memAccess(a, ppn, acc)
+		return nil
 	case vmm.SwapCached:
 		return m.swapCacheHit(a, key, acc)
 	case vmm.SwappedOut:
@@ -341,34 +464,27 @@ func (m *Machine) step(a *appState) error {
 	}
 }
 
-func (m *Machine) accessMapped(a *appState, key memsim.PageKey, acc workload.Access) error {
-	injected := m.vm.IsInjected(key)
-	ppn, err := m.vm.Touch(key)
-	if err != nil {
-		return err
-	}
-	if injected {
-		m.met.InjectedHits++
-		if m.pref != nil {
-			m.pref.Exec.OnFirstHit(key, a.now)
-		}
-	}
-	m.memAccess(a, ppn, acc)
-	return nil
-}
-
 // memAccess models the hardware path of an access to a mapped page:
 // cache hierarchy, DRAM on LLC miss, and — on HoPP machines — the
-// memory controller's hot page pipeline.
+// memory controller's hot page pipeline. The drain is gated on
+// Pending so the common no-hot-page miss costs one counter check, and
+// the single-controller case bypasses the mc.Tracker interface.
 func (m *Machine) memAccess(a *appState, ppn memsim.PPN, acc workload.Access) {
 	line := int(uint64(acc.Addr)>>memsim.LineShift) & (memsim.LinesPerPage - 1)
 	pa := ppn.LineAddr(line)
-	if m.caches.Access(pa) == cachesim.LevelMemory {
+	if !m.l2.Access(pa) && !m.llc.Access(pa) {
 		m.met.DRAMHits++
 		a.now = a.now.Add(m.costs.DRAMHit)
-		if m.mcCtl != nil {
+		if ctl := m.mcSingle; ctl != nil {
+			ctl.ObserveMiss(a.now, pa, acc.Write)
+			if ctl.Pending() != 0 {
+				m.drainHotPages()
+			}
+		} else if m.mcCtl != nil {
 			m.mcCtl.ObserveMiss(a.now, pa, acc.Write)
-			m.drainHotPages()
+			if m.mcCtl.Pending() != 0 {
+				m.drainHotPages()
+			}
 		}
 	} else {
 		m.met.CacheHits++
@@ -377,7 +493,12 @@ func (m *Machine) memAccess(a *appState, ppn memsim.PPN, acc workload.Access) {
 }
 
 func (m *Machine) drainHotPages() {
-	for _, hp := range m.mcCtl.Drain(0) {
+	// hotBuf is reused across drains; OnHotPage never re-enters the
+	// drain (prefetch issue paths do not touch the MC), so iterating the
+	// shared buffer is safe.
+	m.hotBuf = m.mcCtl.DrainInto(m.hotBuf[:0], 0)
+	for i := range m.hotBuf {
+		hp := &m.hotBuf[i]
 		if !hp.Mapped {
 			continue // kernel or unmapped page; software drops it
 		}
@@ -394,7 +515,7 @@ func (m *Machine) swapCacheHit(a *appState, key memsim.PageKey, acc workload.Acc
 	if err != nil {
 		return err
 	}
-	m.reclaim(a, key.PID)
+	m.reclaim(a, key.PID, a.now)
 	m.memAccess(a, ppn, acc)
 	return nil
 }
@@ -416,7 +537,7 @@ func (m *Machine) majorFault(a *appState, key memsim.PageKey, acc workload.Acces
 	if err != nil {
 		return err
 	}
-	m.reclaim(a, key.PID)
+	m.reclaim(a, key.PID, a.now)
 	m.firePrefetcher(a, key)
 	m.memAccess(a, ppn, acc)
 	return nil
@@ -437,7 +558,7 @@ func (m *Machine) lateHit(a *appState, key memsim.PageKey, acc workload.Access, 
 	switch m.vm.Lookup(key) {
 	case vmm.SwapCached:
 		ppn, err = m.vm.PromoteSwapCache(key)
-		m.reclaim(a, key.PID)
+		m.reclaim(a, key.PID, a.now)
 	case vmm.Mapped:
 		ppn, err = m.vm.Touch(key)
 	default:
@@ -465,7 +586,7 @@ func (m *Machine) minorFault(a *appState, key memsim.PageKey, acc workload.Acces
 	if err != nil {
 		return err
 	}
-	m.reclaim(a, key.PID)
+	m.reclaim(a, key.PID, a.now)
 	m.memAccess(a, ppn, acc)
 	return nil
 }
@@ -495,9 +616,10 @@ func (m *Machine) launchPrefetch(now vclock.Time, k memsim.PageKey, inject bool,
 	m.met.RemoteReads++
 	m.met.PrefetchIssued++
 	arrival := m.fabric.PageRead(now)
-	inf := &inflightFetch{arrival: arrival, inject: inject, onInjected: onInjected}
+	inf := m.newInflight()
+	inf.key, inf.arrival, inf.inject, inf.onInjected = k, arrival, inject, onInjected
 	m.inflight[k] = inf
-	m.queue.Schedule(arrival, func(t vclock.Time) { m.landPrefetch(k, inf, t) })
+	m.queue.Schedule(arrival, inf.land)
 	return arrival
 }
 
@@ -507,10 +629,12 @@ func (m *Machine) landPrefetch(k memsim.PageKey, inf *inflightFetch, t vclock.Ti
 		// The page was demand-fetched while we were in flight (possible
 		// only via the late-hit path racing the landing event at the
 		// same timestamp); drop the duplicate.
+		m.freeInflight(inf)
 		return
 	}
 	if inf.inject {
 		if _, err := m.vm.MapRemote(k, true); err != nil {
+			m.freeInflight(inf)
 			return
 		}
 		if inf.onInjected != nil {
@@ -518,26 +642,30 @@ func (m *Machine) landPrefetch(k memsim.PageKey, inf *inflightFetch, t vclock.Ti
 		}
 	} else {
 		if _, err := m.vm.InsertSwapCache(k); err != nil {
+			m.freeInflight(inf)
 			return
 		}
 	}
-	m.reclaim(nil, k.PID)
+	m.freeInflight(inf)
+	// t is the landing time: any writeback this landing forces enters
+	// the fabric now, not at time zero.
+	m.reclaim(nil, k.PID, t)
 }
 
 // reclaim brings the cgroup back under its limit, writing victims to the
 // remote node. Reclaim runs in advance of allocations since Linux v5.8
 // (§II-A), so its latency stays off the app's critical path unless the
-// cost model says otherwise.
-func (m *Machine) reclaim(a *appState, pid memsim.PID) {
-	victims := m.vm.ReclaimIfNeeded(pid)
+// cost model says otherwise. now stamps the victims' fabric writebacks;
+// a is non-nil only on app-initiated paths, where synchronous-reclaim
+// cost models may charge the app.
+func (m *Machine) reclaim(a *appState, pid memsim.PID, now vclock.Time) {
+	m.victimBuf = m.vm.ReclaimInto(pid, m.victimBuf[:0])
+	victims := m.victimBuf
 	if len(victims) == 0 {
 		return
 	}
-	now := vclock.Time(0)
-	if a != nil {
-		now = a.now
-	}
-	for _, v := range victims {
+	for i := range victims {
+		v := &victims[i]
 		m.remote.Write(v.Key)
 		m.met.RemoteWrites++
 		m.fabric.PageWrite(now)
@@ -585,7 +713,9 @@ func (b *hoppBackend) InjectSwapCached(now vclock.Time, key memsim.PageKey) bool
 	if _, err := m.vm.PromoteInjected(key); err != nil {
 		return false
 	}
-	m.reclaim(nil, key.PID)
+	// now is the software's injection time: writebacks it forces enter
+	// the fabric then, not at time zero.
+	m.reclaim(nil, key.PID, now)
 	return true
 }
 
@@ -610,7 +740,8 @@ func (b *hoppBackend) FetchBulk(now vclock.Time, keys []memsim.PageKey, onInject
 		m.remote.Read(k)
 		m.met.RemoteReads++
 		m.met.PrefetchIssued++
-		inf := &inflightFetch{arrival: arrival, inject: true, onInjected: func(t vclock.Time) {}}
+		inf := m.newInflight()
+		inf.key, inf.arrival, inf.inject, inf.onInjected = k, arrival, true, nil
 		infs[i] = inf
 		m.inflight[k] = inf
 	}

@@ -61,12 +61,17 @@ func (d Duration) String() string {
 }
 
 // Event is a scheduled callback in an EventQueue.
+//
+// Events fired by RunUntil are recycled into an internal pool, so a
+// handle returned by Schedule must not be inspected or cancelled after
+// its callback has run.
 type Event struct {
 	When Time
 	Fn   func(Time)
 
 	index int // heap index; -1 once popped or cancelled
 	seq   uint64
+	free  *Event // pool freelist link
 }
 
 // Cancelled reports whether the event was removed before firing.
@@ -79,6 +84,7 @@ func (e *Event) Cancelled() bool { return e.index == -1 }
 type EventQueue struct {
 	events  []*Event
 	nextSeq uint64
+	pool    *Event
 }
 
 // Len returns the number of pending events.
@@ -87,10 +93,24 @@ func (q *EventQueue) Len() int { return len(q.events) }
 // Schedule enqueues fn to run at time when and returns the event handle,
 // which may be passed to Cancel.
 func (q *EventQueue) Schedule(when Time, fn func(Time)) *Event {
-	e := &Event{When: when, Fn: fn, seq: q.nextSeq}
+	e := q.pool
+	if e != nil {
+		q.pool = e.free
+		e.When, e.Fn, e.free = when, fn, nil
+	} else {
+		e = &Event{When: when, Fn: fn}
+	}
+	e.seq = q.nextSeq
 	q.nextSeq++
 	q.push(e)
 	return e
+}
+
+// recycle returns a fired event to the pool for reuse by Schedule.
+func (q *EventQueue) recycle(e *Event) {
+	e.Fn = nil
+	e.free = q.pool
+	q.pool = e
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
@@ -133,7 +153,9 @@ func (q *EventQueue) RunUntil(t Time) {
 			return
 		}
 		e := q.Pop()
-		e.Fn(e.When)
+		fn, at := e.Fn, e.When
+		q.recycle(e)
+		fn(at)
 	}
 }
 

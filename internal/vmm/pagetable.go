@@ -1,0 +1,179 @@
+package vmm
+
+import "hopp/internal/memsim"
+
+// pageTable maps one process's VPNs to resident pages, plus the
+// ever-swapped bit that distinguishes major faults from first touches.
+//
+// The structure exists for the simulator hot loop: classifying a page is
+// the first thing every simulated access does, and a Go map probe (hash,
+// bucket walk) dominated the per-access profile. Instead, VPNs inside a
+// contiguous span get a dense slice slot (plain array index) and a
+// bitset for the ever-swapped flag; VPNs outside the span — sparse
+// outliers a workload maps far from its main regions — fall back to
+// overflow maps. The span grows on demand with doubling slack and is
+// capped at maxDenseSpan so one stray VPN cannot balloon the table.
+type pageTable struct {
+	init  bool
+	base  uint64   // first VPN covered by the dense span; multiple of 64
+	dense []*page  // index: vpn - base
+	ever  []uint64 // bitset over the same span
+
+	ovPages map[memsim.VPN]*page
+	ovEver  map[memsim.VPN]struct{}
+}
+
+const (
+	// maxDenseSpan caps the dense span at 4M pages (16 GB of virtual
+	// address space per process — far beyond any simulated footprint).
+	maxDenseSpan = 1 << 22
+	// denseInitSpan is the initial span for tables that were not
+	// presized from workload regions.
+	denseInitSpan = 1 << 10
+)
+
+// get returns the resident page for vpn, or nil.
+func (t *pageTable) get(vpn memsim.VPN) *page {
+	if i := uint64(vpn) - t.base; i < uint64(len(t.dense)) {
+		return t.dense[i]
+	}
+	if t.ovPages != nil {
+		return t.ovPages[vpn]
+	}
+	return nil
+}
+
+// set records p as the resident page for vpn.
+func (t *pageTable) set(vpn memsim.VPN, p *page) {
+	if i := uint64(vpn) - t.base; i < uint64(len(t.dense)) {
+		t.dense[i] = p
+		return
+	}
+	if t.coverSlack(uint64(vpn)) {
+		t.dense[uint64(vpn)-t.base] = p
+		return
+	}
+	if t.ovPages == nil {
+		t.ovPages = make(map[memsim.VPN]*page)
+	}
+	t.ovPages[vpn] = p
+}
+
+// del removes the resident page for vpn.
+func (t *pageTable) del(vpn memsim.VPN) {
+	if i := uint64(vpn) - t.base; i < uint64(len(t.dense)) {
+		t.dense[i] = nil
+		return
+	}
+	if t.ovPages != nil {
+		delete(t.ovPages, vpn)
+	}
+}
+
+// everGet reports whether vpn has ever been swapped out.
+func (t *pageTable) everGet(vpn memsim.VPN) bool {
+	if i := uint64(vpn) - t.base; i < uint64(len(t.dense)) {
+		return t.ever[i>>6]&(1<<(i&63)) != 0
+	}
+	if t.ovEver != nil {
+		_, ok := t.ovEver[vpn]
+		return ok
+	}
+	return false
+}
+
+// everSet marks vpn as having a remote copy.
+func (t *pageTable) everSet(vpn memsim.VPN) {
+	if i := uint64(vpn) - t.base; i < uint64(len(t.dense)) {
+		t.ever[i>>6] |= 1 << (i & 63)
+		return
+	}
+	if t.ovEver == nil {
+		t.ovEver = make(map[memsim.VPN]struct{})
+	}
+	t.ovEver[vpn] = struct{}{}
+}
+
+// coverSlack grows the dense span to include v, with doubling headroom
+// in the growth direction so ascending or descending fills amortize to
+// O(1) per page. Reports false when even the minimal covering span
+// would exceed maxDenseSpan.
+func (t *pageTable) coverSlack(v uint64) bool {
+	lo := v &^ 63
+	hi := lo + 64
+	if !t.init {
+		return t.grow(lo, lo+denseInitSpan)
+	}
+	oldLo := t.base
+	oldHi := t.base + uint64(len(t.dense))
+	span := oldHi - oldLo
+	newLo, newHi := lo, hi
+	if newLo > oldLo {
+		newLo = oldLo
+	}
+	if newHi < oldHi {
+		newHi = oldHi
+	}
+	if newHi-newLo > maxDenseSpan {
+		return false
+	}
+	// Doubling slack toward the side being grown.
+	if hi > oldHi {
+		if target := oldLo + 2*span; target > newHi && target-newLo <= maxDenseSpan {
+			newHi = target
+		}
+	}
+	if lo < oldLo {
+		var target uint64
+		if oldHi > 2*span {
+			target = (oldHi - 2*span) &^ 63
+		}
+		if target < newLo && newHi-target <= maxDenseSpan {
+			newLo = target
+		}
+	}
+	return t.grow(newLo, newHi)
+}
+
+// coverRange extends the dense span to exactly cover [lo, hi) (rounded
+// to bitset words), without slack — the presizing path. Reports false
+// when the span would exceed maxDenseSpan.
+func (t *pageTable) coverRange(lo, hi uint64) bool {
+	if hi <= lo {
+		return true
+	}
+	lo &^= 63
+	hi = (hi + 63) &^ 63
+	if t.init {
+		if t.base < lo {
+			lo = t.base
+		}
+		if e := t.base + uint64(len(t.dense)); e > hi {
+			hi = e
+		}
+		if lo >= t.base && hi <= t.base+uint64(len(t.dense)) {
+			return true
+		}
+	}
+	if hi-lo > maxDenseSpan {
+		return false
+	}
+	return t.grow(lo, hi)
+}
+
+// grow reallocates the dense span to [newLo, newHi); both bounds must be
+// multiples of 64 and enclose the current span.
+func (t *pageTable) grow(newLo, newHi uint64) bool {
+	if newHi-newLo > maxDenseSpan {
+		return false
+	}
+	nd := make([]*page, newHi-newLo)
+	ne := make([]uint64, (newHi-newLo)/64)
+	if t.init {
+		off := t.base - newLo
+		copy(nd[off:], t.dense)
+		copy(ne[off/64:], t.ever)
+	}
+	t.dense, t.ever, t.base, t.init = nd, ne, newLo, true
+	return true
+}

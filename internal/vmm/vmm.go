@@ -105,8 +105,9 @@ type Cgroup struct {
 	pid      memsim.PID
 	limit    int // max charged pages; 0 = unlimited
 	charged  int
-	active   lruList // mapped pages
-	inactive lruList // swapcache pages
+	active   lruList   // mapped pages
+	inactive lruList   // swapcache pages
+	pt       pageTable // VPN → resident page, plus the ever-swapped bit
 }
 
 // Charged returns the cgroup's current page charge.
@@ -182,19 +183,37 @@ type Victim struct {
 }
 
 // VMM is the machine-wide virtual memory subsystem.
+//
+// Page residency lives in per-cgroup dense page tables
+// (internal/vmm/pagetable.go) rather than one machine-wide map: page
+// classification is the first step of every simulated access, so the
+// lookup must be an array index, not a hash probe. Evicted page structs
+// are pooled on a freelist for the same reason — fault-heavy phases
+// recycle them instead of allocating.
 type VMM struct {
-	cfg    Config
-	groups map[memsim.PID]*Cgroup
-	pages  map[memsim.PageKey]*page
-	// everSwapped records pages with a remote copy, distinguishing major
-	// faults from first-touch minor faults.
-	everSwapped map[memsim.PageKey]bool
+	cfg Config
+	// byPID indexes cgroups by PID (a 16-bit space, so a flat slice is
+	// cheap and branch-predictable; unregistered slots are nil).
+	byPID []*Cgroup
 
 	nextPPN  memsim.PPN
 	freePPNs []memsim.PPN
 	resident int
 	// insertSeq orders swapcache inserts for the freshness shield.
 	insertSeq uint64
+
+	// pageFree is a freelist of recycled page structs, linked by next.
+	pageFree *page
+
+	// lastKey/lastPage/lastGrp cache the most recent Mapped Access
+	// result: a page has many cachelines, so the access stream hits one
+	// page dozens of times in a row and the filter skips the page-table
+	// walk. Only Mapped pages are cached (they leave that state solely
+	// via evict), and releasePage invalidates the filter before a page
+	// struct can be recycled, so the pointer can never go stale.
+	lastKey  memsim.PageKey
+	lastPage *page
+	lastGrp  *Cgroup
 
 	stats Stats
 
@@ -222,27 +241,45 @@ func New(cfg Config) *VMM {
 	if cfg.InactiveProtect == 0 {
 		cfg.InactiveProtect = 16
 	}
-	return &VMM{
-		cfg:         cfg,
-		groups:      make(map[memsim.PID]*Cgroup),
-		pages:       make(map[memsim.PageKey]*page),
-		everSwapped: make(map[memsim.PageKey]bool),
-	}
+	return &VMM{cfg: cfg}
 }
 
 // Register creates the cgroup for a process with the given page limit
 // (0 = unlimited). Registering a PID twice is an error.
 func (v *VMM) Register(pid memsim.PID, limitPages int) (*Cgroup, error) {
-	if _, ok := v.groups[pid]; ok {
+	if v.grp(pid) != nil {
 		return nil, fmt.Errorf("vmm: pid %d already registered", pid)
 	}
+	if int(pid) >= len(v.byPID) {
+		grown := make([]*Cgroup, int(pid)+1)
+		copy(grown, v.byPID)
+		v.byPID = grown
+	}
 	g := &Cgroup{pid: pid, limit: limitPages}
-	v.groups[pid] = g
+	v.byPID[pid] = g
 	return g, nil
 }
 
+// Presize pre-extends pid's dense page table to cover VPNs [lo, hi), so
+// a workload whose regions are known up front never pays growth
+// reallocations mid-run. Best effort: spans beyond the dense cap are
+// simply served by the overflow path.
+func (v *VMM) Presize(pid memsim.PID, lo, hi memsim.VPN) {
+	if g := v.grp(pid); g != nil {
+		g.pt.coverRange(uint64(lo), uint64(hi))
+	}
+}
+
+// grp returns the cgroup for pid, or nil when unregistered.
+func (v *VMM) grp(pid memsim.PID) *Cgroup {
+	if int(pid) < len(v.byPID) {
+		return v.byPID[pid]
+	}
+	return nil
+}
+
 // Group returns a process's cgroup.
-func (v *VMM) Group(pid memsim.PID) *Cgroup { return v.groups[pid] }
+func (v *VMM) Group(pid memsim.PID) *Cgroup { return v.grp(pid) }
 
 // Stats returns a copy of the counters.
 func (v *VMM) Stats() Stats { return v.stats }
@@ -252,19 +289,68 @@ func (v *VMM) Resident() int { return v.resident }
 
 // Lookup classifies the page without side effects.
 func (v *VMM) Lookup(key memsim.PageKey) PageState {
-	if p, ok := v.pages[key]; ok {
+	g := v.grp(key.PID)
+	if g == nil {
+		return Untouched
+	}
+	if p := g.pt.get(key.VPN); p != nil {
 		return p.state
 	}
-	if v.everSwapped[key] {
+	if g.pt.everGet(key.VPN) {
 		return SwappedOut
 	}
 	return Untouched
 }
 
+// Access classifies the page and, when it is mapped, applies Touch's
+// side effects (injected-flag consumption, LRU refresh) in the same
+// table walk — the fused fast path the simulator's per-access loop
+// uses. The returned bool reports whether a mapped page was still
+// carrying its injected flag before this access consumed it; it is
+// false for every other state.
+func (v *VMM) Access(key memsim.PageKey) (PageState, memsim.PPN, bool) {
+	if p := v.lastPage; p != nil && v.lastKey == key {
+		wasInjected := p.injected
+		p.injected = false
+		if !v.cfg.LazyLRU {
+			v.lastGrp.active.moveToFront(p)
+		}
+		return Mapped, p.ppn, wasInjected
+	}
+	return v.accessSlow(key)
+}
+
+// accessSlow is the page-table walk behind Access's one-entry filter,
+// split out so the filter hit inlines into the simulator's access loop.
+func (v *VMM) accessSlow(key memsim.PageKey) (PageState, memsim.PPN, bool) {
+	g := v.grp(key.PID)
+	if g == nil {
+		return Untouched, 0, false
+	}
+	if p := g.pt.get(key.VPN); p != nil {
+		if p.state == Mapped {
+			wasInjected := p.injected
+			p.injected = false
+			if !v.cfg.LazyLRU {
+				g.active.moveToFront(p)
+			}
+			v.lastKey, v.lastPage, v.lastGrp = key, p, g
+			return Mapped, p.ppn, wasInjected
+		}
+		return p.state, p.ppn, false
+	}
+	if g.pt.everGet(key.VPN) {
+		return SwappedOut, 0, false
+	}
+	return Untouched, 0, false
+}
+
 // PPNOf returns the resident page's frame, if any.
 func (v *VMM) PPNOf(key memsim.PageKey) (memsim.PPN, bool) {
-	if p, ok := v.pages[key]; ok {
-		return p.ppn, true
+	if g := v.grp(key.PID); g != nil {
+		if p := g.pt.get(key.VPN); p != nil {
+			return p.ppn, true
+		}
 	}
 	return 0, false
 }
@@ -272,8 +358,12 @@ func (v *VMM) PPNOf(key memsim.PageKey) (memsim.PPN, bool) {
 // IsInjected reports whether a mapped page was early-PTE-injected and
 // has not been touched yet.
 func (v *VMM) IsInjected(key memsim.PageKey) bool {
-	p, ok := v.pages[key]
-	return ok && p.injected
+	if g := v.grp(key.PID); g != nil {
+		if p := g.pt.get(key.VPN); p != nil {
+			return p.injected
+		}
+	}
+	return false
 }
 
 func (v *VMM) allocPPN() (memsim.PPN, error) {
@@ -296,12 +386,43 @@ func (v *VMM) freePPN(p memsim.PPN) {
 	v.resident--
 }
 
-func (v *VMM) group(pid memsim.PID) (*Cgroup, error) {
-	g, ok := v.groups[pid]
-	if !ok {
-		return nil, fmt.Errorf("vmm: pid %d not registered", pid)
+// newPage takes a page struct off the freelist (or allocates one); the
+// caller fully reinitializes it.
+// pageSlabSize is how many page structs each backing slab holds.
+// Slab allocation keeps pages that are allocated together adjacent in
+// memory — the streaming access pattern then walks pages roughly
+// sequentially instead of chasing scattered heap objects.
+const pageSlabSize = 512
+
+func (v *VMM) newPage() *page {
+	if p := v.pageFree; p != nil {
+		v.pageFree = p.next
+		p.next = nil
+		return p
 	}
-	return g, nil
+	slab := make([]page, pageSlabSize)
+	for i := pageSlabSize - 1; i > 0; i-- {
+		slab[i].next = v.pageFree
+		v.pageFree = &slab[i]
+	}
+	return &slab[0]
+}
+
+// releasePage returns an evicted page struct to the freelist. The page
+// must already be off both LRU lists (remove nils prev/next).
+func (v *VMM) releasePage(p *page) {
+	if v.lastPage == p {
+		v.lastPage = nil
+	}
+	*p = page{next: v.pageFree}
+	v.pageFree = p
+}
+
+func (v *VMM) group(pid memsim.PID) (*Cgroup, error) {
+	if g := v.grp(pid); g != nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("vmm: pid %d not registered", pid)
 }
 
 // MapNew services a first-touch minor fault: allocate, zero-fill, map.
@@ -325,15 +446,16 @@ func (v *VMM) mapFresh(key memsim.PageKey, injected bool, counter *uint64) (mems
 	if err != nil {
 		return 0, err
 	}
-	if _, ok := v.pages[key]; ok {
+	if g.pt.get(key.VPN) != nil {
 		return 0, fmt.Errorf("vmm: page %v already resident", key)
 	}
 	ppn, err := v.allocPPN()
 	if err != nil {
 		return 0, err
 	}
-	p := &page{key: key, ppn: ppn, state: Mapped, injected: injected, charged: true}
-	v.pages[key] = p
+	p := v.newPage()
+	*p = page{key: key, ppn: ppn, state: Mapped, injected: injected, charged: true}
+	g.pt.set(key.VPN, p)
 	g.active.pushFront(p)
 	g.charged++
 	*counter++
@@ -350,7 +472,7 @@ func (v *VMM) InsertSwapCache(key memsim.PageKey) (memsim.PPN, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, ok := v.pages[key]; ok {
+	if g.pt.get(key.VPN) != nil {
 		return 0, fmt.Errorf("vmm: page %v already resident", key)
 	}
 	ppn, err := v.allocPPN()
@@ -358,8 +480,9 @@ func (v *VMM) InsertSwapCache(key memsim.PageKey) (memsim.PPN, error) {
 		return 0, err
 	}
 	v.insertSeq++
-	p := &page{key: key, ppn: ppn, state: SwapCached, charged: v.cfg.ChargePrefetched, seq: v.insertSeq}
-	v.pages[key] = p
+	p := v.newPage()
+	*p = page{key: key, ppn: ppn, state: SwapCached, charged: v.cfg.ChargePrefetched, seq: v.insertSeq}
+	g.pt.set(key.VPN, p)
 	g.inactive.pushFront(p)
 	if p.charged {
 		g.charged++
@@ -375,8 +498,8 @@ func (v *VMM) PromoteSwapCache(key memsim.PageKey) (memsim.PPN, error) {
 	if err != nil {
 		return 0, err
 	}
-	p, ok := v.pages[key]
-	if !ok || p.state != SwapCached {
+	p := g.pt.get(key.VPN)
+	if p == nil || p.state != SwapCached {
 		return 0, fmt.Errorf("vmm: page %v not in swapcache", key)
 	}
 	g.inactive.remove(p)
@@ -401,7 +524,8 @@ func (v *VMM) PromoteInjected(key memsim.PageKey) (memsim.PPN, error) {
 	if err != nil {
 		return 0, err
 	}
-	p := v.pages[key]
+	g := v.grp(key.PID)
+	p := g.pt.get(key.VPN)
 	p.injected = true
 	v.stats.Injections++
 	v.stats.InjectedInPlace++
@@ -415,8 +539,8 @@ func (v *VMM) Touch(key memsim.PageKey) (memsim.PPN, error) {
 	if err != nil {
 		return 0, err
 	}
-	p, ok := v.pages[key]
-	if !ok || p.state != Mapped {
+	p := g.pt.get(key.VPN)
+	if p == nil || p.state != Mapped {
 		return 0, fmt.Errorf("vmm: touch of non-mapped page %v (%v)", key, v.Lookup(key))
 	}
 	p.injected = false
@@ -435,11 +559,18 @@ func (v *VMM) Touch(key memsim.PageKey) (memsim.PPN, error) {
 // drop them. Victims are returned for the engine to write back and
 // invalidate.
 func (v *VMM) ReclaimIfNeeded(pid memsim.PID) []Victim {
-	g, ok := v.groups[pid]
-	if !ok {
-		return nil
+	return v.ReclaimInto(pid, nil)
+}
+
+// ReclaimInto is ReclaimIfNeeded appending into a caller-owned buffer,
+// the allocation-free form the simulator hot loop uses: in the common
+// nothing-to-evict case it returns victims unchanged without touching
+// the heap.
+func (v *VMM) ReclaimInto(pid memsim.PID, victims []Victim) []Victim {
+	g := v.grp(pid)
+	if g == nil {
+		return victims
 	}
-	var victims []Victim
 	// Global pressure on unaccounted swapcache pages.
 	for g.inactive.n > v.cfg.SwapCacheCapPages {
 		tail := g.inactive.tail
@@ -510,9 +641,10 @@ func (v *VMM) evict(g *Cgroup, p *page) Victim {
 	if p.charged {
 		g.charged--
 	}
-	delete(v.pages, p.key)
-	v.everSwapped[p.key] = true
+	g.pt.del(p.key.VPN)
+	g.pt.everSet(p.key.VPN)
 	v.freePPN(p.ppn)
+	v.releasePage(p)
 	v.stats.Evictions++
 	return vic
 }
@@ -520,10 +652,13 @@ func (v *VMM) evict(g *Cgroup, p *page) Victim {
 // EvictPage forcibly evicts a specific resident page (used by failure
 // injection tests and by shootdown scenarios).
 func (v *VMM) EvictPage(key memsim.PageKey) (Victim, error) {
-	p, ok := v.pages[key]
-	if !ok {
+	g := v.grp(key.PID)
+	if g == nil {
 		return Victim{}, fmt.Errorf("vmm: page %v not resident", key)
 	}
-	g := v.groups[key.PID]
+	p := g.pt.get(key.VPN)
+	if p == nil {
+		return Victim{}, fmt.Errorf("vmm: page %v not resident", key)
+	}
 	return v.evict(g, p), nil
 }

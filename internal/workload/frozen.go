@@ -104,10 +104,16 @@ func (f *Frozen) Seed() int64 { return f.seed }
 // concurrently on different goroutines.
 func (f *Frozen) Replay() Generator {
 	if f.visits != nil {
-		return &frozenProgram{f: f}
+		return &frozenProgram{f: f, visits: f.visits, think: f.think, loops: f.loops}
 	}
 	return &frozenTape{f: f}
 }
+
+// ProgramReplay names the page-program replayer Replay returns for
+// *Base-built streams. The simulator type-asserts against it to call
+// Next directly — the same devirtualization it applies to *Base — so a
+// sweep child's access loop runs as fast as a standalone run's.
+type ProgramReplay = frozenProgram
 
 // resetCheck enforces the seed binding shared by both replayer forms.
 func (f *Frozen) resetCheck(seed int64) {
@@ -118,13 +124,20 @@ func (f *Frozen) resetCheck(seed int64) {
 }
 
 // frozenProgram replays a frozen page program with Base.Next's exact
-// expansion, sharing the immutable visit slice with every sibling.
+// expansion, sharing the immutable visit slice with every sibling. The
+// hot fields (visits, loops, think) are copied out of the Frozen at
+// construction so Next — called once per simulated access — matches
+// Base.Next instruction for instruction instead of chasing p.f; a
+// slower replayer would silently erase the sweep's stream-sharing win.
 type frozenProgram struct {
-	f     *Frozen
-	vi    int
-	li    int
-	loop  int
-	ready bool
+	f      *Frozen
+	visits []visit
+	think  vclock.Duration
+	loops  int
+	vi     int
+	li     int
+	loop   int
+	ready  bool
 }
 
 // Name implements Generator.
@@ -153,23 +166,24 @@ func (p *frozenProgram) Next() (Access, bool) {
 	if !p.ready {
 		panic("workload: frozen Next before Reset")
 	}
-	visits := p.f.visits
-	for p.vi == len(visits) {
+	for p.vi == len(p.visits) {
 		p.loop++
-		if p.loop >= p.f.loops {
+		if p.loop >= p.loops {
 			return Access{}, false
 		}
 		p.vi, p.li = 0, 0
 	}
-	v := visits[p.vi]
-	line := (int(v.firstLine) + p.li) % memsim.LinesPerPage
-	addr := memsim.VAddr(uint64(v.vpn)<<memsim.PageShift | uint64(line)<<memsim.LineShift)
+	v := &p.visits[p.vi]
+	// Same mask-for-modulo wrap as Base.Next: both operands are
+	// non-negative and LinesPerPage is a power of two.
+	line := uint64(int(v.firstLine)+p.li) & (memsim.LinesPerPage - 1)
+	addr := memsim.VAddr(uint64(v.vpn)<<memsim.PageShift | line<<memsim.LineShift)
 	p.li++
 	if p.li >= int(v.lines) {
 		p.vi++
 		p.li = 0
 	}
-	return Access{Addr: addr, Write: v.write, Think: p.f.think}, true
+	return Access{Addr: addr, Write: v.write, Think: p.think}, true
 }
 
 // frozenTape replays a recorded access stream.

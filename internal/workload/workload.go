@@ -163,9 +163,11 @@ func (b *Base) Next() (Access, bool) {
 		}
 		b.vi, b.li = 0, 0
 	}
-	v := b.visits[b.vi]
-	line := (int(v.firstLine) + b.li) % memsim.LinesPerPage
-	addr := memsim.VAddr(uint64(v.vpn)<<memsim.PageShift | uint64(line)<<memsim.LineShift)
+	v := &b.visits[b.vi]
+	// Both operands are non-negative and LinesPerPage is a power of two,
+	// so the wrap is a mask (the signed % would compile to more).
+	line := uint64(int(v.firstLine)+b.li) & (memsim.LinesPerPage - 1)
+	addr := memsim.VAddr(uint64(v.vpn)<<memsim.PageShift | line<<memsim.LineShift)
 	b.li++
 	if b.li >= int(v.lines) {
 		b.vi++

@@ -10,14 +10,26 @@
 # Results land in BENCH_hotloop.json at the repo root. The committed
 # copy is the baseline; rerun after touching the simulator hot loop,
 # the experiment pipeline, or the sweep fan-out, and eyeball the diff.
-# Benchmarks time wall clocks, so numbers move machine to machine —
-# the baseline is for order-of-magnitude drift, not CI gating.
+#
+# The script always prints a comparison of machine_maccess_per_s
+# against the committed baseline. With BENCH_STRICT=1 it additionally
+# FAILS (exit 1) when throughput regresses more than 10% — the CI
+# guardrail. Benchmarks time wall clocks, so numbers move machine to
+# machine; the strict gate is deliberately loose (10%) to absorb
+# shared-runner noise while still catching an accidental O(ways) scan
+# or per-access allocation creeping back in.
 set -eu
 cd "$(dirname "$0")/.."
 
 out=BENCH_hotloop.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
+
+# Capture the committed baseline before overwriting it.
+base_maccess=""
+if [ -f "$out" ]; then
+    base_maccess=$(awk -F'[:,]' '/"machine_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
+fi
 
 echo "== go test -bench (hot loop: machine + table2)"
 go test -bench 'MachineThroughput|Table2_HPDThreshold' -run '^$' -benchtime 3x . | tee "$tmp"
@@ -55,3 +67,19 @@ END {
 
 echo "bench.sh: wrote $out"
 cat "$out"
+
+new_maccess=$(awk -F'[:,]' '/"machine_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
+if [ -n "$base_maccess" ]; then
+    echo "bench.sh: machine_maccess_per_s $base_maccess (baseline) -> $new_maccess"
+    if ! awk -v new="$new_maccess" -v base="$base_maccess" \
+        'BEGIN { exit (new + 0 >= 0.9 * base) ? 0 : 1 }'; then
+        echo "bench.sh: throughput regressed more than 10% from the committed baseline"
+        if [ "${BENCH_STRICT:-0}" = "1" ]; then
+            echo "bench.sh: BENCH_STRICT=1, failing"
+            exit 1
+        fi
+        echo "bench.sh: (set BENCH_STRICT=1 to make this fatal)"
+    fi
+else
+    echo "bench.sh: no committed baseline to compare against"
+fi
