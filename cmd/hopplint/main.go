@@ -6,12 +6,18 @@
 //
 //	hopplint ./...            # every package of the enclosing module
 //	hopplint ./internal/sim   # specific package directories
+//	hopplint -json ./...      # findings as NDJSON for tooling
 //
-// Diagnostics print as "file:line: analyzer: message"; the exit status
-// is 1 when any finding survives, 2 on usage or load errors.
+// Diagnostics print as "file:line: analyzer: message" (the byte-stable
+// format CI's problem matcher parses); with -json each finding is one
+// JSON object per line: {"file","line","col","analyzer","message"}.
+// The exit status is 1 when any finding survives, 2 on usage or load
+// errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,9 +27,18 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	fs := flag.NewFlagSet("hopplint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as NDJSON ({file,line,col,analyzer,message}) instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hopplint [-json] ./... | hopplint [-json] <package-dir>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hopplint ./... | hopplint <package-dir>...")
+		fs.Usage()
 		os.Exit(2)
 	}
 
@@ -65,6 +80,7 @@ func main() {
 
 	diags := lint.Check(pkgs)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if cwd != "" {
@@ -72,12 +88,35 @@ func main() {
 				name = rel
 			}
 		}
+		if *jsonOut {
+			err := enc.Encode(jsonFinding{
+				File:     name,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hopplint: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Printf("%s:%d: %s: %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hopplint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the NDJSON shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -187,6 +187,8 @@ func (c *Cache) Name() string { return c.cfg.Name }
 
 // Access touches the cacheline containing addr and reports whether it
 // hit. On a miss the line is installed, evicting the set's LRU victim.
+//
+//hopplint:hotpath
 func (c *Cache) Access(addr memsim.PAddr) bool {
 	line := addr.Line()
 	set, tag64 := c.locate(line)
@@ -261,11 +263,13 @@ func (c *Cache) lineOf(tag uint32, set int) uint64 {
 func (c *Cache) pageRecSlow(pg uint64) *pageLines {
 	ci := pg >> chunkShift
 	if ci >= uint64(len(c.pages)) {
+		//hopplint:allocok cold path: top-level chunk index grows once per new VPN region, never in steady state
 		grown := make([][]pageLines, ci+1+ci/2)
 		copy(grown, c.pages)
 		c.pages = grown
 	}
 	if c.pages[ci] == nil {
+		//hopplint:allocok cold path: one chunk per 256 pages on first touch; the steady state hits the inlined fast path
 		c.pages[ci] = make([]pageLines, chunkPages)
 	}
 	return &c.pages[ci][pg&chunkMask]
@@ -468,6 +472,8 @@ func DefaultHierarchy() *Hierarchy {
 // outermost level always reports as LevelLLC, so a single-level hierarchy
 // behaves as a bare LLC. Missed levels install the line (inclusive
 // hierarchy).
+//
+//hopplint:hotpath
 func (h *Hierarchy) Access(addr memsim.PAddr) Level {
 	if h.llc != nil {
 		if h.l2 != nil && h.l2.Access(addr) {

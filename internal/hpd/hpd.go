@@ -183,6 +183,8 @@ func (t *Table) Stats() Stats { return t.stats }
 // access crossed the hot threshold, i.e. whether the PPN should be
 // forwarded to the RPT cache. WRITE misses must be filtered out by the
 // caller (§III-B omits WRITEs).
+//
+//hopplint:hotpath
 func (t *Table) Access(ppn memsim.PPN) (hot bool) {
 	t.stats.Accesses++
 	if uint64(ppn) == t.lastPPN {

@@ -17,7 +17,15 @@ var CtxFirst = &Analyzer{
 	Run:  runCtxFirst,
 }
 
-func runCtxFirst(p *Package) []Diagnostic {
+func runCtxFirst(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range m.Pkgs {
+		diags = append(diags, ctxFirstPackage(p)...)
+	}
+	return diags
+}
+
+func ctxFirstPackage(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -17,7 +17,15 @@ var ErrDrop = &Analyzer{
 	Run:  runErrDrop,
 }
 
-func runErrDrop(p *Package) []Diagnostic {
+func runErrDrop(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range m.Pkgs {
+		diags = append(diags, errDropPackage(p)...)
+	}
+	return diags
+}
+
+func errDropPackage(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -5,25 +5,47 @@
 // seed) inputs yield equal bytes; these analyzers fail the build on the
 // constructs that silently break that property.
 //
-// Four analyzers run over every non-test package of the module:
+// Seven analyzers run over every non-test package of the module:
 //
 //   - nodeterm: inside the deterministic packages (the simulation core,
 //     see DeterministicPackages), forbids wall-clock reads (time.Now,
-//     time.Since), the global math/rand source (package-level rand
-//     functions and rand.Seed; seeded rand.New(rand.NewSource(...)) is
-//     the sanctioned form), and environment reads (os.Getenv and
-//     friends). The service and cmd layers are exempt: wall time is
-//     their job.
-//   - maporder: flags `range` over a map whose body appends to a slice,
-//     writes to an io.Writer, or formats output — the classic
-//     nondeterministic-output hazard. Audited sites that sort afterwards
-//     carry a //hopplint:sorted waiver.
+//     time.Since, the timer constructors), the global math/rand source
+//     (package-level rand functions and rand.Seed; seeded
+//     rand.New(rand.NewSource(...)) is the sanctioned form),
+//     environment reads (os.Getenv and friends), os.ReadFile/os.Open of
+//     paths not derived from a parameter, and calls into
+//     non-deterministic module packages that transitively read the wall
+//     clock. The service and cmd layers are exempt: wall time is their
+//     job.
+//   - maporder: flags `range` over a map whose body emits ordered
+//     output — appending to an escaping slice, writing to an io.Writer,
+//     or formatting — directly or through any chain of module helper
+//     calls (the call-graph summaries see through helpers). Audited
+//     sites that sort afterwards carry a //hopplint:sorted waiver.
 //   - ctxfirst: a context.Context parameter must come first, and the
-//     deterministic packages must not store contexts in struct fields
-//     (a stored context couples pure simulation state to request
-//     lifetime).
+//     deterministic packages must not store contexts in struct fields.
 //   - errdrop: forbids `_ =` discards of error-returning calls; audited
 //     discards carry //hopplint:errok <reason>.
+//   - hotalloc: from a declared hot-path root set (functions annotated
+//     //hopplint:hotpath, plus HotPathRoots), every reachable module
+//     function is scanned for allocation-inducing constructs: make/new,
+//     map/slice literals, closures, append growth, string
+//     concatenation, interface boxing at call sites, and fmt/strconv
+//     formatting. Audited sites carry //hopplint:allocok <reason>.
+//   - lockheld: flags operations that can block — channel sends and
+//     receives, selects without default, file and network I/O, calls
+//     whose transitive summary blocks — while a sync.Mutex/RWMutex is
+//     held, plus lock-order inversions (lock pairs acquired in both
+//     orders anywhere in the module). Audited sites carry
+//     //hopplint:lockok <reason>.
+//   - stalewaiver: any //hopplint waiver comment that suppresses zero
+//     findings is itself reported, so the waiver set cannot rot.
+//
+// The interprocedural analyzers ride a module-wide static call graph
+// (callgraph.go) with per-function summaries (summaries.go): allocates,
+// writes-ordered-output, blocks, reads-wall-clock, and the set of locks
+// acquired. Edges and findings are deterministically ordered, so golden
+// tests are byte-stable across runs.
 //
 // The driver is cmd/hopplint; scripts/check.sh runs it as a hard gate.
 package lint
@@ -54,10 +76,28 @@ var DeterministicPackages = map[string]bool{
 	"vmm":         true,
 	"vclock":      true,
 	"core":        true,
+	// The open-addressing table under the executor/rdma/prefetcher hot
+	// paths is pure data structure; it must stay free of clocks and
+	// global randomness like everything else the simulator is built on.
+	"flatmap": true,
 	// The fault injector must itself be deterministic — seeded rules, no
 	// wall clock — or the failures it injects wouldn't replay.
 	"faults": true,
 }
+
+// HotPathRoots names additional hot-path root functions for the
+// hotalloc analyzer by their qualified name (types.Func.FullName form,
+// e.g. "(*hopp/internal/cachesim.Cache).Access"). The primary mechanism
+// is the //hopplint:hotpath annotation on the function declaration
+// itself — this list exists for roots whose source cannot carry the
+// annotation. It is empty for the repo's own tree.
+var HotPathRoots []string
+
+// waiverDirectives lists every //hopplint:<name> directive the
+// analyzers consult. stalewaiver reports any occurrence of these that
+// suppressed nothing; a directive name outside this list is simply
+// ignored (and therefore never stale).
+var waiverDirectives = []string{"errok", "sorted", "allocok", "lockok", "hotpath"}
 
 // Diagnostic is one finding, formatted as "file:line: analyzer: message".
 type Diagnostic struct {
@@ -71,31 +111,57 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named pass over a type-checked package.
+// Module is the unit the analyzers run over: the loaded packages plus
+// the static call graph and per-function summaries spanning them. A
+// Module built from a single fixture package works exactly like one
+// built from the whole repo — cross-package edges simply resolve only
+// within the packages present.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// NewModule assembles the call graph and computes summaries once; every
+// analyzer then reads the shared result.
+func NewModule(pkgs []*Package) *Module {
+	for _, p := range pkgs {
+		p.resetWaiverUse() // summary computation already consumes lockok waivers
+	}
+	g := buildCallGraph(pkgs)
+	computeSummaries(g)
+	return &Module{Pkgs: pkgs, Graph: g}
+}
+
+// Analyzer is one named pass over a module.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Package) []Diagnostic
+	Run  func(*Module) []Diagnostic
 }
 
-// Analyzers returns every hopplint analyzer in fixed order.
+// Analyzers returns every hopplint analyzer in fixed order. The order
+// is load-bearing in one place: StaleWaiver must run last, because it
+// reports the waiver comments the earlier analyzers did not consume.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoDeterm,
 		MapOrder,
 		CtxFirst,
 		ErrDrop,
+		HotAlloc,
+		LockHeld,
+		StaleWaiver,
 	}
 }
 
-// Check runs every analyzer over every package and returns the combined
-// findings sorted by position then analyzer, ready to print.
+// Check runs every analyzer over the packages as one module and returns
+// the combined findings sorted by position then analyzer, ready to
+// print.
 func Check(pkgs []*Package) []Diagnostic {
+	m := NewModule(pkgs)
 	var diags []Diagnostic
-	for _, p := range pkgs {
-		for _, a := range Analyzers() {
-			diags = append(diags, a.Run(p)...)
-		}
+	for _, a := range Analyzers() {
+		diags = append(diags, a.Run(m)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -108,7 +174,10 @@ func Check(pkgs []*Package) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

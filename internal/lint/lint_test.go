@@ -80,7 +80,7 @@ func checkGolden(t *testing.T, a *Analyzer, fixture, golden string) {
 func expectClean(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
 	p := loadFixture(t, fixture)
-	if diags := a.Run(p); len(diags) > 0 {
+	if diags := a.Run(NewModule([]*Package{p})); len(diags) > 0 {
 		t.Errorf("%s over %s: want no findings, got:\n%s", a.Name, fixture, render(diags))
 	}
 }
@@ -119,6 +119,97 @@ func TestErrDropFindsViolations(t *testing.T) {
 
 func TestErrDropAcceptsHandledAndWaived(t *testing.T) {
 	expectClean(t, ErrDrop, "errdrop_ok")
+}
+
+func TestHotAllocFindsPlantedAllocations(t *testing.T) {
+	checkGolden(t, HotAlloc, "hotalloc_bad", "hotalloc.golden")
+}
+
+func TestHotAllocAcceptsCleanHotPath(t *testing.T) {
+	expectClean(t, HotAlloc, "hotalloc_ok")
+}
+
+func TestLockHeldFindsBlockingUnderLock(t *testing.T) {
+	checkGolden(t, LockHeld, "lockheld_bad", "lockheld.golden")
+}
+
+func TestLockHeldAcceptsDiscipline(t *testing.T) {
+	expectClean(t, LockHeld, "lockheld_ok")
+}
+
+func TestMapOrderSeesThroughHelpers(t *testing.T) {
+	checkGolden(t, MapOrder, "maporder_interproc_bad", "maporder_interproc.golden")
+}
+
+func TestStaleWaiverFindsRot(t *testing.T) {
+	checkGolden(t, StaleWaiver, "stalewaiver_bad", "stalewaiver.golden")
+}
+
+// The call graph's ordering contract: three fresh load-and-build runs
+// over the same module must render byte-identical DebugString output —
+// nodes sorted by qualified name (init functions tie-broken by
+// position), edges in source order, summary facts propagated.
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module fixture.test/cg\n\ngo 1.22\n",
+		"a/a.go": "package a\n\n" +
+			"func Leaf() int { return 1 }\n\n" +
+			"func Mid() []int { return make([]int, Leaf()) }\n",
+		"b/b.go": "package b\n\n" +
+			"import (\n\t\"strconv\"\n\n\t\"fixture.test/cg/a\"\n)\n\n" +
+			"type T struct{ s string }\n\n" +
+			"func (t *T) Bump() { t.s = strconv.Itoa(len(a.Mid())) }\n\n" +
+			"var seen []int\n\n" +
+			"func init() { _ = a.Leaf() }\n\n" +
+			"func init() { seen = a.Mid() }\n",
+	}
+	root := writeModule(t, files)
+	want := "(*fixture.test/cg/b.T).Bump [A]\n" +
+		"  ~> strconv.Itoa\n" +
+		"  -> fixture.test/cg/a.Mid\n" +
+		"fixture.test/cg/a.Leaf [-]\n" +
+		"fixture.test/cg/a.Mid [A]\n" +
+		"  -> fixture.test/cg/a.Leaf\n" +
+		"fixture.test/cg/b.init [-]\n" +
+		"  -> fixture.test/cg/a.Leaf\n" +
+		"fixture.test/cg/b.init [A]\n" +
+		"  -> fixture.test/cg/a.Mid\n"
+	for i := 0; i < 3; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewModule(pkgs).Graph.DebugString()
+		if got != want {
+			t.Fatalf("run %d: call graph rendering diverged:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+}
+
+// A deterministic package calling a service-layer helper that
+// transitively reads the wall clock is flagged at the call site — the
+// interprocedural half of nodeterm.
+func TestNoDetermSeesTransitiveClockReads(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture.test/clk\n\ngo 1.22\n",
+		"svc/svc.go": "package svc\n\n" +
+			"import \"time\"\n\n" +
+			"// Stamp is fine here: svc is not a deterministic package.\n" +
+			"func Stamp() int64 { return time.Now().UnixNano() }\n\n" +
+			"func Wrapped() int64 { return Stamp() }\n",
+		"sim/sim.go": "package sim\n\n" +
+			"import \"fixture.test/clk/svc\"\n\n" +
+			"func Step() int64 { return svc.Wrapped() }\n",
+	})
+	_, findings := loadAllPaths(t, root)
+	want := "sim.go:5: nodeterm: call to fixture.test/clk/svc.Wrapped reads the wall clock (transitively); deterministic packages must derive time from the virtual clock\n"
+	if findings != want {
+		t.Fatalf("findings:\n--- got ---\n%s--- want ---\n%s", findings, want)
+	}
 }
 
 // TestRepoIsLintClean is the merge gate in test form: the whole module

@@ -28,7 +28,30 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	waivers map[string]map[int]string // file base name -> line -> comment text
+	waivers map[string]map[int]string // file name -> line -> comment text
+
+	// directives holds every //hopplint:<known-directive> occurrence in
+	// the package, and used records which of them some analyzer actually
+	// consulted via waiver() — the raw material for stalewaiver.
+	directives []directiveSite
+	used       map[string]bool // "file:line:directive"
+}
+
+// directiveSite is one //hopplint:<directive> comment occurrence.
+type directiveSite struct {
+	Pos       token.Position
+	Directive string
+}
+
+// waiverKey identifies a directive occurrence for use-tracking.
+func waiverKey(filename string, line int, directive string) string {
+	return filename + ":" + strconv.Itoa(line) + ":" + directive
+}
+
+// resetWaiverUse clears the consumed-directive marks; NewModule calls it
+// so repeated Check runs over the same packages start fresh.
+func (p *Package) resetWaiverUse() {
+	p.used = make(map[string]bool)
 }
 
 // Loader parses and type-checks packages of one module from source,
@@ -382,6 +405,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	} else {
 		for i := 0; i < n; i++ {
 			if indeg[i] == 0 {
+				//hopplint:lockok readyCh is buffered to n, one slot per package; the send can never block
 				readyCh <- i
 			}
 		}
@@ -495,6 +519,7 @@ func goSources(dir string) ([]string, error) {
 // or the line directly above).
 func (p *Package) indexWaivers() {
 	p.waivers = make(map[string]map[int]string)
+	p.used = make(map[string]bool)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -505,6 +530,14 @@ func (p *Package) indexWaivers() {
 					p.waivers[pos.Filename] = byLine
 				}
 				byLine[pos.Line] += c.Text
+				// Only comments that ARE a directive (prefix match) count
+				// as waiver sites; prose that merely mentions one — the
+				// analyzers' own documentation — does not.
+				for _, d := range waiverDirectives {
+					if strings.HasPrefix(c.Text, "//hopplint:"+d) {
+						p.directives = append(p.directives, directiveSite{Pos: pos, Directive: d})
+					}
+				}
 			}
 		}
 	}
@@ -527,6 +560,7 @@ func (p *Package) waiver(pos token.Pos, directive string) (string, bool) {
 			continue
 		}
 		if i := strings.Index(text, marker); i >= 0 {
+			p.used[waiverKey(position.Filename, line, directive)] = true
 			rest := text[i+len(marker):]
 			if j := strings.Index(rest, "//"); j >= 0 {
 				rest = rest[:j]

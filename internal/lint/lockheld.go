@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags liveness hazards the race detector cannot see: an
+// operation that can block — a channel send or receive, a select with
+// no default, file or network I/O, or a call whose transitive summary
+// blocks — executed while a sync.Mutex or RWMutex is held, plus lock
+// pairs acquired in both orders anywhere in the module (the ABBA
+// deadlock). Holding a lock across such an operation turns one slow
+// client or full channel into a stalled daemon.
+//
+// The analysis is a linear walk of each function body tracking the set
+// of held locks: Lock/RLock push, Unlock/RUnlock pop, a deferred
+// Unlock keeps the lock held to the end, branch bodies see a copy of
+// the held set (a branch that unlocks does not leak that fact past the
+// branch), and `go` statement bodies are skipped — a spawned goroutine
+// does not hold its parent's locks. Locks are identified by where they
+// live (package.OwnerType.field), so the same mutex reached through
+// different variables is one lock. Nested acquisition in a consistent
+// order (the documented reg.mu → pool.mu order, for instance) is not a
+// finding — only inconsistent order is. Audited sites carry
+// //hopplint:lockok <reason>; the reason is mandatory. A lockok waiver
+// on a blocking operation also clears the blocks fact from the
+// enclosing function's summary, so one waiver at the root cause keeps
+// every transitive caller clean.
+//
+// What this does not prove: it cannot see locks held across goroutine
+// boundaries, locks reached through interface calls, or whether a
+// flagged blocking operation can actually block at runtime. It is an
+// auditing aid with a deliberately small false-negative bias on the
+// concrete paths, not a deadlock-freedom proof.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "forbid blocking operations while a mutex is held, and inconsistent lock acquisition order, without //hopplint:lockok <reason>",
+	Run:  runLockHeld,
+}
+
+// lockPairSite remembers where an ordered (held, acquired) pair was
+// first observed, for the inversion report.
+type lockPairSite struct {
+	p   *Package
+	pos token.Pos
+}
+
+func runLockHeld(m *Module) []Diagnostic {
+	w := &lockWalker{
+		m:     m,
+		pairs: make(map[[2]string]lockPairSite),
+	}
+	for _, n := range m.Graph.Funcs {
+		w.p = n.Pkg
+		w.stmts(n.Decl.Body.List, nil)
+	}
+	w.reportInversions()
+	return w.diags
+}
+
+type lockWalker struct {
+	m     *Module
+	p     *Package // package of the function currently walked
+	diags []Diagnostic
+	pairs map[[2]string]lockPairSite
+}
+
+// report emits one finding unless a reasoned lockok waiver covers the
+// site; a bare waiver is its own finding.
+func (w *lockWalker) report(pos token.Pos, msg string) {
+	reason, waived := w.p.waiver(pos, "lockok")
+	if waived && reason != "" {
+		return
+	}
+	if waived {
+		msg = "//hopplint:lockok waiver has no reason; state why this is safe under the lock"
+	} else {
+		msg += "; shrink the critical section or waive with //hopplint:lockok <reason>"
+	}
+	w.diags = append(w.diags, Diagnostic{
+		Pos:      w.p.Fset.Position(pos),
+		Analyzer: "lockheld",
+		Message:  msg,
+	})
+}
+
+// recordAcquire notes the ordered pairs (each held lock, id) and checks
+// for self-deadlock. via names the callee when the acquisition is
+// transitive.
+func (w *lockWalker) recordAcquire(pos token.Pos, held []string, id, via string) {
+	for _, h := range held {
+		if h == id {
+			if via != "" {
+				w.report(pos, "call to "+via+" acquires "+id+" while it is already held (self-deadlock)")
+			} else {
+				w.report(pos, "acquiring "+id+" while it is already held (self-deadlock)")
+			}
+			continue
+		}
+		key := [2]string{h, id}
+		if _, ok := w.pairs[key]; !ok {
+			w.pairs[key] = lockPairSite{p: w.p, pos: pos}
+		}
+	}
+}
+
+// reportInversions emits one finding per direction of every lock pair
+// observed in both orders, at the pair's first site.
+func (w *lockWalker) reportInversions() {
+	keys := make([][2]string, 0, len(w.pairs))
+	//hopplint:sorted keys are sorted immediately below before any output derives from them
+	for k := range w.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	saved := w.p
+	for _, k := range keys {
+		if _, inverted := w.pairs[[2]string{k[1], k[0]}]; !inverted {
+			continue
+		}
+		site := w.pairs[k]
+		w.p = site.p
+		w.report(site.pos, "lock order inversion: "+k[1]+" acquired while holding "+k[0]+", but the reverse order also occurs; pick one global order")
+	}
+	w.p = saved
+}
+
+// stmts walks a statement list linearly, threading the held-lock set
+// through it.
+func (w *lockWalker) stmts(list []ast.Stmt, held []string) []string {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// branch walks a statement (a branch body) with a copy of the held set,
+// so acquisitions and releases inside it stay local to the branch.
+func (w *lockWalker) branch(s ast.Stmt, held []string) {
+	if s == nil {
+		return
+	}
+	w.stmt(s, append([]string(nil), held...))
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held []string) []string {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if obj := staticCallee(w.p, call); obj != nil {
+				if id, ok := mutexAcquisition(w.p, call, obj); ok {
+					w.recordAcquire(call.Pos(), held, id, "")
+					return append(held, id)
+				}
+			}
+			if id, ok := mutexRelease(w.p, call); ok {
+				return removeLock(held, id)
+			}
+		}
+		w.exprOps(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock means the lock is held for the rest of the
+		// function — exactly what leaving it in the held set models.
+		// Other deferred calls run at return time; their blocking
+		// behavior under a still-held lock is out of scope here.
+		if _, ok := mutexRelease(w.p, s.Call); ok {
+			return held
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), "channel send while holding "+heldDesc(held))
+		}
+		w.exprOps(s.Value, held)
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		w.exprOps(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprOps(s.Cond, held)
+		w.branch(s.Body, held)
+		w.branch(s.Else, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.exprOps(s.Cond, held)
+		}
+		w.branch(s.Body, held)
+	case *ast.RangeStmt:
+		if t := w.p.Info.TypeOf(s.X); t != nil && len(held) > 0 {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.report(s.Pos(), "receiving from a channel range while holding "+heldDesc(held))
+			}
+		}
+		w.exprOps(s.X, held)
+		w.branch(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.exprOps(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			w.branch(clause, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			w.branch(clause, held)
+		}
+	case *ast.CaseClause:
+		w.stmts(s.Body, append([]string(nil), held...))
+	case *ast.CommClause:
+		w.stmts(s.Body, append([]string(nil), held...))
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.report(s.Pos(), "select without default blocks while holding "+heldDesc(held))
+		}
+		for _, clause := range s.Body.List {
+			w.branch(clause, held)
+		}
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks.
+	}
+	return held
+}
+
+// exprOps scans the expressions under a node for operations that block
+// or acquire, against the current held set. Function literal bodies are
+// skipped — a closure built under the lock runs whenever it runs.
+func (w *lockWalker) exprOps(n ast.Node, held []string) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && len(held) > 0 {
+				w.report(node.Pos(), "channel receive while holding "+heldDesc(held))
+			}
+		case *ast.CallExpr:
+			w.callOps(node, held)
+		}
+		return true
+	})
+}
+
+// callOps folds one call's blocking/acquiring behavior into findings
+// and order pairs.
+func (w *lockWalker) callOps(call *ast.CallExpr, held []string) {
+	obj := staticCallee(w.p, call)
+	if obj == nil {
+		return
+	}
+	if id, ok := mutexAcquisition(w.p, call, obj); ok {
+		// An acquisition in expression position (inside a condition or
+		// argument) cannot be scope-tracked; record its ordering and
+		// move on.
+		w.recordAcquire(call.Pos(), held, id, "")
+		return
+	}
+	if callee := w.m.Graph.NodeOf(obj); callee != nil {
+		if callee.facts.blocks && len(held) > 0 {
+			w.report(call.Pos(), "call to "+obj.FullName()+" may block while holding "+heldDesc(held))
+		}
+		for _, acq := range callee.facts.acquires {
+			w.recordAcquire(call.Pos(), held, acq, obj.FullName())
+		}
+		return
+	}
+	if len(held) > 0 && externalFacts(obj.FullName()).blocks {
+		w.report(call.Pos(), "call to "+obj.FullName()+" may block while holding "+heldDesc(held))
+	}
+}
+
+// removeLock pops the most recent acquisition of id.
+func removeLock(held []string, id string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// heldDesc renders the held set for messages.
+func heldDesc(held []string) string {
+	return strings.Join(held, ", ")
+}

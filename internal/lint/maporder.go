@@ -9,10 +9,15 @@ import (
 // MapOrder flags `range` over a map whose body emits ordered output —
 // appending to a slice, writing to an io.Writer, or calling
 // fmt.Fprint*/fmt.Print* — because Go randomizes map iteration order,
-// so such loops produce different bytes on identical inputs. Sites that
-// sort the collected result afterwards (or are otherwise
-// order-insensitive) carry an explicit //hopplint:sorted waiver on the
-// range statement so every exception is auditable.
+// so such loops produce different bytes on identical inputs. The check
+// is interprocedural: a body that calls a module helper whose
+// transitive summary writes ordered output (a fmt.Fprintf three calls
+// deep, an append to an escaping slice inside a utility) is the same
+// hazard as doing it inline. Sites that sort the collected result
+// afterwards (or are otherwise order-insensitive) carry an explicit
+// //hopplint:sorted waiver on the range statement so every exception is
+// auditable — and stalewaiver reports the waiver if the hazard ever
+// goes away.
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "flag map iteration that produces ordered output without a //hopplint:sorted waiver",
@@ -28,29 +33,35 @@ var writerMethods = map[string]bool{
 	"WriteRune":   true,
 }
 
-func runMapOrder(p *Package) []Diagnostic {
+func runMapOrder(m *Module) []Diagnostic {
 	var diags []Diagnostic
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			if mapType(p.Info.TypeOf(rs.X)) == nil {
-				return true
-			}
-			if _, waived := p.waiver(rs.Pos(), "sorted"); waived {
-				return true
-			}
-			if hazard := orderedOutputHazard(p, rs.Body); hazard != "" {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if mapType(p.Info.TypeOf(rs.X)) == nil {
+					return true
+				}
+				hazard := orderedOutputHazard(m, p, rs.Body)
+				if hazard == "" {
+					return true
+				}
+				// Hazard first, waiver second: a //hopplint:sorted on a
+				// harmless range is never consumed, so stalewaiver sees it.
+				if _, waived := p.waiver(rs.Pos(), "sorted"); waived {
+					return true
+				}
 				diags = append(diags, Diagnostic{
 					Pos:      p.Fset.Position(rs.Pos()),
 					Analyzer: "maporder",
 					Message:  "range over map " + hazard + "; iteration order is randomized — sort the keys first or waive with //hopplint:sorted",
 				})
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	return diags
 }
@@ -95,9 +106,11 @@ func mapType(t types.Type) *types.Map {
 }
 
 // orderedOutputHazard scans a map-range body for the constructs that
-// turn random iteration order into nondeterministic output, returning a
-// description of the first hazard or "".
-func orderedOutputHazard(p *Package, body *ast.BlockStmt) string {
+// turn random iteration order into nondeterministic output — directly,
+// or through a call to a module function whose transitive summary
+// writes ordered output — returning a description of the first hazard
+// or "".
+func orderedOutputHazard(m *Module, p *Package, body *ast.BlockStmt) string {
 	hazard := ""
 	ast.Inspect(body, func(n ast.Node) bool {
 		if hazard != "" {
@@ -111,6 +124,7 @@ func orderedOutputHazard(p *Package, body *ast.BlockStmt) string {
 		case *ast.Ident:
 			if b, ok := p.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
 				hazard = "appends to a slice"
+				return true
 			}
 		case *ast.SelectorExpr:
 			if pkg, ok := importedPackage(p, fun.X); ok && pkg == "fmt" {
@@ -126,7 +140,15 @@ func orderedOutputHazard(p *Package, body *ast.BlockStmt) string {
 				recv := p.Info.Selections[fun].Recv()
 				if implementsWriter(recv) {
 					hazard = "writes to an io.Writer via " + fun.Sel.Name
+					return true
 				}
+			}
+		}
+		// Interprocedural: a module callee whose summary says it writes
+		// ordered output is the same hazard one level removed.
+		if callee := m.Graph.NodeOf(staticCallee(p, call)); callee != nil {
+			if callee.facts.writesOrdered {
+				hazard = "calls " + callee.ID + " which writes ordered output"
 			}
 		}
 		return true

@@ -6,12 +6,21 @@ import (
 )
 
 // NoDeterm forbids nondeterministic inputs inside the deterministic
-// packages: wall-clock reads, the process-global math/rand source, and
-// environment reads. Seeded generators (rand.New(rand.NewSource(seed)))
-// are the sanctioned randomness and stay allowed.
+// packages: wall-clock reads (time.Now/Since/Until and the timer
+// constructors), the process-global math/rand source, environment
+// reads, and os.ReadFile/os.Open of paths not derived from a parameter
+// — a hard-coded path makes output depend on host filesystem state
+// invisible to the (workload, system, frac, seed) cache key. Seeded
+// generators (rand.New(rand.NewSource(seed))) are the sanctioned
+// randomness and stay allowed.
+//
+// The check is also interprocedural: a deterministic package calling a
+// module function in a non-deterministic package whose transitive
+// summary reads the wall clock is flagged at the call site — the clock
+// read does not get cleaner by hiding behind a service-layer helper.
 var NoDeterm = &Analyzer{
 	Name: "nodeterm",
-	Doc:  "forbid wall clocks, global rand, and env reads in deterministic packages",
+	Doc:  "forbid wall clocks, timers, global rand, env reads, and fixed-path file reads in deterministic packages",
 	Run:  runNoDeterm,
 }
 
@@ -23,12 +32,17 @@ var randAllowed = map[string]bool{
 	"NewZipf":   true,
 }
 
-// timeForbidden are the wall-clock reads; monotonic or not, both tie
-// simulation output to the host's clock.
+// timeForbidden are the wall-clock reads and timer constructors;
+// monotonic or not, both tie simulation output to the host's clock.
 var timeForbidden = map[string]bool{
-	"Now":   true,
-	"Since": true,
-	"Until": true,
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
 }
 
 // osEnvReads pull configuration from the process environment, which is
@@ -39,60 +53,170 @@ var osEnvReads = map[string]bool{
 	"Environ":   true,
 }
 
-func runNoDeterm(p *Package) []Diagnostic {
-	if !DeterministicPackages[p.Name] {
-		return nil
-	}
+// osFileReads are the os functions whose first argument is a path; in
+// deterministic packages that path must be derived from a parameter.
+var osFileReads = map[string]bool{
+	"ReadFile": true,
+	"Open":     true,
+	"OpenFile": true,
+}
+
+func runNoDeterm(m *Module) []Diagnostic {
 	var diags []Diagnostic
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkgPath, ok := importedPackage(p, sel.X)
-			if !ok {
-				return true
-			}
-			name := sel.Sel.Name
-			switch pkgPath {
-			case "time":
-				if timeForbidden[name] {
-					diags = append(diags, Diagnostic{
-						Pos:      p.Fset.Position(sel.Pos()),
-						Analyzer: "nodeterm",
-						Message:  "time." + name + " reads the wall clock; deterministic packages must derive time from the virtual clock",
-					})
-				}
-			case "math/rand", "math/rand/v2":
-				if randAllowed[name] {
-					return true
-				}
-				// Only package-level functions consume the global
-				// source; types (rand.Rand, rand.Source) are fine.
-				if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
-					return true
-				}
-				msg := "rand." + name + " uses the process-global source; use a seeded rand.New(rand.NewSource(seed))"
-				if name == "Seed" {
-					msg = "rand.Seed mutates the process-global source shared across goroutines; use rand.New(rand.NewSource(seed))"
+	for _, p := range m.Pkgs {
+		if !DeterministicPackages[p.Name] {
+			continue
+		}
+		for _, f := range p.Files {
+			diags = append(diags, noDetermFile(p, f)...)
+		}
+	}
+	diags = append(diags, noDetermCalls(m)...)
+	return diags
+}
+
+// noDetermFile runs the syntactic checks over one file of a
+// deterministic package.
+func noDetermFile(p *Package, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+			diags = append(diags, checkFileReads(p, fd)...)
+			// Keep descending: the selector checks below apply inside.
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := importedPackage(p, sel.X)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pkgPath {
+		case "time":
+			if timeForbidden[name] {
+				msg := "time." + name + " reads the wall clock; deterministic packages must derive time from the virtual clock"
+				switch name {
+				case "NewTimer", "NewTicker", "After", "AfterFunc", "Tick":
+					msg = "time." + name + " schedules on the wall clock; deterministic packages must derive time from the virtual clock"
 				}
 				diags = append(diags, Diagnostic{
 					Pos:      p.Fset.Position(sel.Pos()),
 					Analyzer: "nodeterm",
 					Message:  msg,
 				})
-			case "os":
-				if osEnvReads[name] {
-					diags = append(diags, Diagnostic{
-						Pos:      p.Fset.Position(sel.Pos()),
-						Analyzer: "nodeterm",
-						Message:  "os." + name + " reads the environment; deterministic packages take configuration through parameters",
-					})
-				}
 			}
+		case "math/rand", "math/rand/v2":
+			if randAllowed[name] {
+				return true
+			}
+			// Only package-level functions consume the global
+			// source; types (rand.Rand, rand.Source) are fine.
+			if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			msg := "rand." + name + " uses the process-global source; use a seeded rand.New(rand.NewSource(seed))"
+			if name == "Seed" {
+				msg = "rand.Seed mutates the process-global source shared across goroutines; use rand.New(rand.NewSource(seed))"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(sel.Pos()),
+				Analyzer: "nodeterm",
+				Message:  msg,
+			})
+		case "os":
+			if osEnvReads[name] {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(sel.Pos()),
+					Analyzer: "nodeterm",
+					Message:  "os." + name + " reads the environment; deterministic packages take configuration through parameters",
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkFileReads flags os.ReadFile/os.Open/os.OpenFile calls inside fd
+// whose path argument is not derived from one of fd's parameters (or
+// receiver, or named result). A path that mentions no parameter is
+// baked-in host filesystem state.
+func checkFileReads(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	own := paramObjects(p, fd)
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
 			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !osFileReads[sel.Sel.Name] {
+			return true
+		}
+		if pkg, ok := importedPackage(p, sel.X); !ok || pkg != "os" {
+			return true
+		}
+		if exprMentions(p, call.Args[0], own) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "nodeterm",
+			Message:  "os." + sel.Sel.Name + " of a path not derived from a parameter; deterministic packages take file inputs through parameters",
 		})
+		return true
+	})
+	return diags
+}
+
+// exprMentions reports whether the expression references any of the
+// given objects — an identifier bound to a parameter anywhere in the
+// path expression (a join, a field of a config parameter) counts as
+// parameter-derived.
+func exprMentions(p *Package, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && objs[obj] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// noDetermCalls is the interprocedural half: a call from a
+// deterministic package into a non-deterministic module package whose
+// summary (transitively) reads the wall clock. Calls that stay within
+// the deterministic set are not re-flagged here — the offending site
+// inside the callee gets its own syntactic finding.
+func noDetermCalls(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, n := range m.Graph.Funcs {
+		if !DeterministicPackages[n.Pkg.Name] {
+			continue
+		}
+		for _, cs := range n.Calls {
+			if cs.Callee == nil || DeterministicPackages[cs.Callee.Pkg.Name] {
+				continue
+			}
+			if !cs.Callee.facts.readsClock {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      n.Pkg.Fset.Position(cs.Pos),
+				Analyzer: "nodeterm",
+				Message:  "call to " + cs.ID + " reads the wall clock (transitively); deterministic packages must derive time from the virtual clock",
+			})
+		}
 	}
 	return diags
 }

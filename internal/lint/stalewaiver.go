@@ -1,0 +1,36 @@
+package lint
+
+// StaleWaiver keeps the waiver set honest: every //hopplint:<directive>
+// comment that no analyzer consumed during this run — an errok on an
+// assignment that no longer discards an error, a sorted on a range that
+// no longer emits ordered output, an allocok left behind after the
+// allocation was hoisted — is itself a finding. Waivers are exceptions
+// to the determinism contract; an exception that excuses nothing is
+// pure noise and, worse, may silently excuse a future regression at the
+// same line.
+//
+// This analyzer must run last (Analyzers() guarantees it): it reads the
+// consumed-directive marks the other analyzers and the summary layer
+// leave behind via Package.waiver.
+var StaleWaiver = &Analyzer{
+	Name: "stalewaiver",
+	Doc:  "report //hopplint waiver comments that suppress no finding",
+	Run:  runStaleWaiver,
+}
+
+func runStaleWaiver(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range m.Pkgs {
+		for _, site := range p.directives {
+			if p.used[waiverKey(site.Pos.Filename, site.Pos.Line, site.Directive)] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      site.Pos,
+				Analyzer: "stalewaiver",
+				Message:  "//hopplint:" + site.Directive + " suppresses no finding; remove it",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,61 @@
+// Package cachesim (fixture) plants one of every allocation class
+// hotalloc tracks on an annotated hot path: the golden test proves a
+// deliberately planted heap allocation in a cache hot path cannot slip
+// past the analyzer.
+package cachesim
+
+import "fmt"
+
+type counter interface{ Inc() }
+
+// Cache is the planted hot structure.
+type Cache struct {
+	lines []uint64
+	sink  counter
+	names map[uint64]string
+}
+
+type tick struct{ n int }
+
+// Inc satisfies counter.
+func (t *tick) Inc() { t.n++ }
+
+// Access is the planted hot root; each construct below is one finding.
+//
+//hopplint:hotpath
+func (c *Cache) Access(addr uint64) bool {
+	buf := make([]uint64, 4)
+	c.lines = append(c.lines, addr)
+	m := map[uint64]bool{addr: true}
+	f := func() uint64 { return addr }
+	label := fmt.Sprintf("%d", addr)
+	box(addr)
+	c.slow(addr)
+	c.warm(addr)
+	return len(buf) > 0 && m[addr] && f() == addr && label != "" && addr != 0
+}
+
+// slow is not annotated but reachable from Access: still scanned.
+func (c *Cache) slow(addr uint64) {
+	t := &tick{}
+	c.sink = t
+	c.names[addr] = "line-" + c.names[addr]
+}
+
+// warm carries one audited waiver (suppressed) and one bare waiver (a
+// finding of its own).
+func (c *Cache) warm(addr uint64) {
+	//hopplint:allocok fixture: amortized warmup growth, audited
+	c.lines = append(c.lines, addr)
+	//hopplint:allocok
+	c.lines = append(c.lines, addr+1)
+}
+
+// Rebuild allocates freely: it is not reachable from any hot root.
+func (c *Cache) Rebuild(n int) {
+	c.lines = make([]uint64, 0, n)
+	c.names = make(map[uint64]string, n)
+}
+
+// box forces interface boxing of its argument.
+func box(v any) { _ = v }

@@ -1,0 +1,38 @@
+// Package cachesim (fixture) shows the sanctioned hot-path shape: flat
+// state, caller-owned buffers, panics allowed to format, and free
+// allocation in functions no hot root reaches.
+package cachesim
+
+// Table is flat state; its hot path touches no heap.
+type Table struct {
+	slots []uint64
+}
+
+// Access is hot and allocation-free.
+//
+//hopplint:hotpath
+func (t *Table) Access(addr uint64) bool {
+	if len(t.slots) == 0 {
+		panic("cachesim: Access before Rebuild(" + string(rune(len(t.slots))) + ")")
+	}
+	i := int(addr) % len(t.slots)
+	hit := t.slots[i] == addr
+	t.slots[i] = addr
+	return hit
+}
+
+// DrainInto appends into a caller-owned buffer under an audited waiver.
+//
+//hopplint:hotpath
+func (t *Table) DrainInto(buf []uint64) []uint64 {
+	for _, s := range t.slots {
+		//hopplint:allocok fixture: caller-owned buffer, capacity reused across drains
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// Rebuild allocates freely: it is not reachable from any hot root.
+func (t *Table) Rebuild(n int) {
+	t.slots = make([]uint64, n)
+}

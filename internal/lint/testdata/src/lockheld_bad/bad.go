@@ -1,0 +1,86 @@
+// Package service (fixture) commits every liveness sin lockheld
+// tracks: blocking channel operations, file I/O, and transitively
+// blocking helper calls under a held mutex, plus a lock pair acquired
+// in both orders.
+package service
+
+import (
+	"os"
+	"sync"
+)
+
+// Engine holds two locks and a channel.
+type Engine struct {
+	mu    sync.Mutex
+	regMu sync.Mutex
+	ch    chan int
+}
+
+// Send blocks on a channel send while holding mu.
+func (e *Engine) Send(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ch <- v
+}
+
+// Recv blocks on a channel receive while holding mu.
+func (e *Engine) Recv() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return <-e.ch
+}
+
+// Persist does file I/O while holding mu.
+func (e *Engine) Persist(path string, b []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Park waits in a select with no default while holding mu.
+func (e *Engine) Park(done chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-done:
+	case v := <-e.ch:
+		_ = v
+	}
+}
+
+// flush blocks transitively; Drain calls it under the lock.
+func (e *Engine) flush(path string) error {
+	return os.WriteFile(path, nil, 0o600)
+}
+
+// Drain calls a transitively blocking helper while holding mu.
+func (e *Engine) Drain(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flush(path)
+}
+
+// LockAB and LockBA acquire the pair in opposite orders — the ABBA
+// deadlock lockheld reports at both first sites.
+func (e *Engine) LockAB() {
+	e.mu.Lock()
+	e.regMu.Lock()
+	e.regMu.Unlock()
+	e.mu.Unlock()
+}
+
+// LockBA is the reverse order of LockAB.
+func (e *Engine) LockBA() {
+	e.regMu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.regMu.Unlock()
+}
+
+// Bare carries a lockok with no reason: that is its own finding.
+func (e *Engine) Bare(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//hopplint:lockok
+	e.ch <- v
+}

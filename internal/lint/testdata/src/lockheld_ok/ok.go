@@ -1,0 +1,73 @@
+// Package service (fixture) shows the sanctioned lock discipline:
+// condvar waits (which release the mutex), I/O moved outside the
+// critical section, branch-local unlocks, a consistent nesting order,
+// and an audited waiver on a send that provably cannot block.
+package service
+
+import (
+	"os"
+	"sync"
+)
+
+// Pool is the condvar-worker shape pool.go uses on the real tree.
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []func()
+}
+
+// Worker waits on the condvar under the lock — sync.Cond.Wait releases
+// the mutex while parked, so it is not a blocking op under the lock.
+func (p *Pool) Worker() {
+	p.mu.Lock()
+	for len(p.q) == 0 {
+		p.cond.Wait()
+	}
+	job := p.q[0]
+	p.q = p.q[1:]
+	p.mu.Unlock()
+	job()
+}
+
+// Snapshot copies under the lock and does the I/O after releasing it.
+func (p *Pool) Snapshot(path string) error {
+	p.mu.Lock()
+	n := len(p.q)
+	p.mu.Unlock()
+	return os.WriteFile(path, []byte{byte(n)}, 0o644)
+}
+
+// Registry nests the pool lock under its own in one consistent order;
+// nesting alone is not a finding.
+type Registry struct {
+	mu   sync.Mutex
+	pool *Pool
+}
+
+// Flush acquires mu then pool.mu, the only order in this package.
+func (r *Registry) Flush(path string) error {
+	r.mu.Lock()
+	r.pool.mu.Lock()
+	n := len(r.pool.q)
+	r.pool.mu.Unlock()
+	if n == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	return os.WriteFile(path, []byte{byte(n)}, 0o644)
+}
+
+// Notify sends to a buffered ready channel under an audited waiver.
+type Notifier struct {
+	mu    sync.Mutex
+	ready chan int // buffered to the maximum outstanding count
+}
+
+// Mark signals readiness; the channel is sized so the send never blocks.
+func (n *Notifier) Mark(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//hopplint:lockok fixture: ready is buffered to the outstanding bound; the send cannot block
+	n.ready <- v
+}

@@ -28,3 +28,17 @@ func Tuned() string {
 	}
 	return os.Getenv("HOPP_DEFAULT")
 }
+
+// Ticks schedules timers on the wall clock.
+func Ticks() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	k := time.NewTicker(time.Second)
+	defer k.Stop()
+	<-time.After(time.Second)
+}
+
+// Baked reads a path invisible to the cache key: no parameter feeds it.
+func Baked() ([]byte, error) {
+	return os.ReadFile("/etc/hopp/trace.bin")
+}

@@ -4,7 +4,10 @@
 // service fixture below in this package's tests).
 package sim
 
-import "math/rand"
+import (
+	"math/rand"
+	"os"
+)
 
 // Jitter derives randomness from an explicit seed.
 func Jitter(seed int64) float64 {
@@ -16,4 +19,15 @@ func Jitter(seed int64) float64 {
 // type reference, not a use of the global source.
 func Draw(rng *rand.Rand, n int) int {
 	return rng.Intn(n)
+}
+
+// Load reads a path the caller supplies; parameter-derived file input
+// is the sanctioned form.
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// LoadRel joins a parameter with a constant — still parameter-derived.
+func LoadRel(dir string) ([]byte, error) {
+	return os.ReadFile(dir + "/trace.bin")
 }

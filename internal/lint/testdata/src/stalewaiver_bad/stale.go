@@ -1,0 +1,49 @@
+// Package service (fixture): every waiver below excuses nothing and is
+// reported by stalewaiver; the one consumed waiver in Drop stays
+// silent.
+package service
+
+// Tidy returns an error the callers below handle or discard.
+func Tidy() error { return nil }
+
+// Run handles the error; the errok above the call is dead.
+func Run() error {
+	//hopplint:errok leftover from a removed discard
+	err := Tidy()
+	return err
+}
+
+// Drop discards under an audited waiver — consumed, not stale.
+func Drop() {
+	//hopplint:errok fixture: the result is irrelevant here
+	_ = Tidy()
+}
+
+// Keys carries a sorted waiver on a range with no ordered-output
+// hazard at all.
+func Keys(m map[string]int) int {
+	total := 0
+	//hopplint:sorted nothing here emits ordered output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Quiet carries a lockok where nothing blocks.
+func Quiet() int {
+	//hopplint:lockok nothing blocks here
+	x := 1
+	return x
+}
+
+// Sentinel carries an allocok on a declaration no hot path reaches.
+//
+//hopplint:allocok this line waives no allocation
+var Sentinel = 7
+
+// NotARoot carries a hotpath annotation on something that is not a
+// function declaration, so no analyzer ever reads it.
+//
+//hopplint:hotpath
+var NotARoot = 1

@@ -155,6 +155,8 @@ func MustNew(cfg Config) *Controller {
 // the design omits is the deferred WRITE (writeback) traffic, which the
 // simulation does not route through ObserveMiss at all; RDMA-completion
 // DMA writes likewise bypass it.
+//
+//hopplint:hotpath
 func (c *Controller) ObserveMiss(now vclock.Time, pa memsim.PAddr, write bool) {
 	if write {
 		c.stats.WriteMisses++
@@ -216,6 +218,7 @@ func (c *Controller) grow() {
 	if n > c.bufCap {
 		n = c.bufCap
 	}
+	//hopplint:allocok amortized ring doubling clamped to bufCap; the warmed ring is reused forever after
 	grown := make([]HotPage, n)
 	m := copy(grown, c.buf[c.tail:])
 	copy(grown[m:], c.buf[:c.tail])
@@ -239,12 +242,15 @@ func (c *Controller) Drain(max int) []HotPage {
 // allocation-free form the simulator hot loop uses: the machine hands
 // the same backing slice back on every drain, so steady-state draining
 // costs no heap traffic.
+//
+//hopplint:hotpath
 func (c *Controller) DrainInto(buf []HotPage, max int) []HotPage {
 	n := c.count
 	if max > 0 && max < n {
 		n = max
 	}
 	for i := 0; i < n; i++ {
+		//hopplint:allocok appends into the caller-owned drain buffer; the machine hands the same backing slice back every drain
 		buf = append(buf, c.buf[c.tail])
 		c.tail++
 		if c.tail == len(c.buf) {

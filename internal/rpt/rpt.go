@@ -224,6 +224,8 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 
 // Lookup translates a hot page's PPN to its Entry. A miss loads the
 // entry from the DRAM table (one 8-byte read, possibly one writeback).
+//
+//hopplint:hotpath
 func (c *Cache) Lookup(ppn memsim.PPN) Entry {
 	c.tick++
 	c.stats.Lookups++

@@ -89,6 +89,7 @@ func (t *pageTable) everSet(vpn memsim.VPN) {
 		return
 	}
 	if t.ovEver == nil {
+		//hopplint:allocok overflow map for pages outside the dense span, allocated once; the dense span covers the steady state
 		t.ovEver = make(map[memsim.VPN]struct{})
 	}
 	t.ovEver[vpn] = struct{}{}

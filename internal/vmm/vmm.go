@@ -288,6 +288,8 @@ func (v *VMM) Stats() Stats { return v.stats }
 func (v *VMM) Resident() int { return v.resident }
 
 // Lookup classifies the page without side effects.
+//
+//hopplint:hotpath
 func (v *VMM) Lookup(key memsim.PageKey) PageState {
 	g := v.grp(key.PID)
 	if g == nil {
@@ -308,6 +310,8 @@ func (v *VMM) Lookup(key memsim.PageKey) PageState {
 // uses. The returned bool reports whether a mapped page was still
 // carrying its injected flag before this access consumed it; it is
 // false for every other state.
+//
+//hopplint:hotpath
 func (v *VMM) Access(key memsim.PageKey) (PageState, memsim.PPN, bool) {
 	if p := v.lastPage; p != nil && v.lastKey == key {
 		wasInjected := p.injected
@@ -382,6 +386,7 @@ func (v *VMM) allocPPN() (memsim.PPN, error) {
 }
 
 func (v *VMM) freePPN(p memsim.PPN) {
+	//hopplint:allocok amortized freelist growth; capacity is reused once the working set has cycled
 	v.freePPNs = append(v.freePPNs, p)
 	v.resident--
 }
@@ -566,6 +571,8 @@ func (v *VMM) ReclaimIfNeeded(pid memsim.PID) []Victim {
 // the allocation-free form the simulator hot loop uses: in the common
 // nothing-to-evict case it returns victims unchanged without touching
 // the heap.
+//
+//hopplint:hotpath
 func (v *VMM) ReclaimInto(pid memsim.PID, victims []Victim) []Victim {
 	g := v.grp(pid)
 	if g == nil {
@@ -577,6 +584,7 @@ func (v *VMM) ReclaimInto(pid memsim.PID, victims []Victim) []Victim {
 		if tail.charged {
 			break // charged pages are handled by cgroup reclaim below
 		}
+		//hopplint:allocok appends into the caller-owned victims buffer (the ReclaimInto contract)
 		victims = append(victims, v.evict(g, tail))
 	}
 	for g.OverLimit() > 0 {
@@ -584,6 +592,7 @@ func (v *VMM) ReclaimInto(pid memsim.PID, victims []Victim) []Victim {
 		if !ok {
 			break
 		}
+		//hopplint:allocok appends into the caller-owned victims buffer (the ReclaimInto contract)
 		victims = append(victims, victim)
 	}
 	return victims

@@ -30,9 +30,18 @@ fi
 # hopplint is a hard gate: the repo's determinism invariants (no wall
 # clock / unseeded rand / env reads in deterministic packages, no
 # unsorted map ranges on output paths, ctx-first signatures, no silently
-# dropped errors) are enforced, not aspirational.
+# dropped errors, no hot-path allocations, no blocking under locks) are
+# enforced, not aspirational. The call-graph build makes it the slowest
+# analysis step, so its wall time is printed and a slow run warns —
+# above 30s it is eating the pre-merge loop and needs attention.
 echo "== hopplint ./..."
+hopplint_start=$(date +%s)
 go run ./cmd/hopplint ./...
+hopplint_elapsed=$(( $(date +%s) - hopplint_start ))
+echo "hopplint took ${hopplint_elapsed}s"
+if [ "$hopplint_elapsed" -gt 30 ]; then
+    echo "WARN: hopplint took ${hopplint_elapsed}s (>30s); profile the loader or trim the module before this becomes the bottleneck"
+fi
 
 # internal/faults rides in the race gate alongside the service layer:
 # the fault-injection tests (contained panics, journal write failures,
