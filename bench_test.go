@@ -65,6 +65,7 @@ func BenchmarkFig19_TierAccuracy(b *testing.B)    { runExp(b, "fig19") }
 func BenchmarkFig20_TierCoverage(b *testing.B)    { runExp(b, "fig20") }
 func BenchmarkFig21_Scatter(b *testing.B)         { runExp(b, "fig21") }
 func BenchmarkFig22_Techniques(b *testing.B)      { runExp(b, "fig22") }
+func BenchmarkBaselines_Feedback(b *testing.B)    { runExp(b, "baselines") }
 
 // BenchmarkHeadline measures the paper's headline comparison directly —
 // OMP-KMeans at 50% local memory under Fastswap vs HoPP — and reports
@@ -92,6 +93,24 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	var accesses uint64
 	for i := 0; i < b.N; i++ {
 		met, err := sim.RunWorkload(sim.HoPP(), gen, 0.5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = met.Accesses
+	}
+	b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Maccess/s")
+}
+
+// BenchmarkMachineThroughputSPP is the same pipeline under the SPP
+// feedback scheme: every fault crosses the registry-built prefetcher
+// plus the OnPrefetchHit/OnPrefetchEvicted seams, so this is the
+// regression guard for the feedback path's zero-alloc budget.
+func BenchmarkMachineThroughputSPP(b *testing.B) {
+	gen := workload.NewSequential(1024, 3)
+	b.ReportAllocs()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		met, err := sim.RunWorkload(sim.SPP(), gen, 0.5, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,12 +1,15 @@
 // Command hoppsim runs one workload under one remote-memory system and
 // prints the §VI-A metrics. Workload and system names resolve through
 // the same catalog the hoppd daemon serves, so anything runnable here is
-// submittable there and vice versa.
+// submittable there and vice versa. Demand-path systems accept the
+// prefetch registry's parameterized spec forms — "depth-16" or
+// "spp?lookahead=6" — alongside the bare names -list prints.
 //
 // Usage:
 //
 //	hoppsim -workload omp-kmeans -system hopp -frac 0.5
 //	hoppsim -workload npb-mg -system fastswap -frac 0.25 -seed 9
+//	hoppsim -workload quicksort -system "spp?lookahead=6" -frac 0.5
 //	hoppsim -list
 package main
 
@@ -27,7 +30,7 @@ func main() {
 func run() int {
 	var (
 		wl    = flag.String("workload", "omp-kmeans", "workload name")
-		sys   = flag.String("system", "hopp", "system name")
+		sys   = flag.String("system", "hopp", "system name or prefetch spec (e.g. spp?lookahead=6)")
 		frac  = flag.Float64("frac", 0.5, "local memory as a fraction of the footprint (0 = all local)")
 		seed  = flag.Int64("seed", 1, "randomness seed")
 		quick = flag.Bool("quick", false, "shrink the workload ~4x")

@@ -11,8 +11,9 @@
 //   - the RDMA fabric and remote memory node in internal/rdma;
 //   - HoPP's software stack (stream training table, SSP/LSP/RSP tiers,
 //     policy engine, execution engine) in internal/core;
-//   - the compared systems (Fastswap, Leap, Depth-N, VMA) in
-//     internal/swap;
+//   - the compared demand-path prefetchers (Fastswap, Leap, Depth-N,
+//     VMA, SPP, Chimera, HHP) and their self-registering catalog in
+//     internal/prefetch;
 //   - Table IV workload generators in internal/workload;
 //   - the machine that ties them together in internal/sim; and
 //   - regenerators for every table and figure of §VI in
@@ -70,12 +71,22 @@ var (
 	DepthN = sim.DepthN
 	// VMA is Linux 5.4's VMA-clipped readahead.
 	VMA = sim.VMA
+	// SPP is signature-path prefetching with feedback-trained confidence.
+	SPP = sim.SPP
+	// Chimera is the accuracy-arbitrated stride/spatial/history hybrid.
+	Chimera = sim.Chimera
+	// HHP is offset pattern-table prefetching keyed by region triggers.
+	HHP = sim.HHP
 	// NoPrefetch is the demand-only baseline.
 	NoPrefetch = sim.NoPrefetch
 	// HoPP is the full co-designed system with default parameters.
 	HoPP = sim.HoPP
 	// HoPPWith is HoPP with explicit core parameters.
 	HoPPWith = sim.HoPPWith
+	// DemandSystem resolves any prefetch-registry spec — "spp",
+	// "depth-16", "chimera?degree=4" — to a runnable demand-path system;
+	// the named constructors above are fixed points of it.
+	DemandSystem = sim.DemandSystem
 )
 
 // DefaultParams returns the paper's HoPP configuration (§III).

@@ -83,8 +83,8 @@ func TestAllWorkloadConstructors(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := Experiments()
-	if len(all) != 22 {
-		t.Fatalf("experiments = %d, want 22 (breakdown + 4 tables + 17 figures)", len(all))
+	if len(all) != 23 {
+		t.Fatalf("experiments = %d, want 23 (breakdown + 4 tables + 17 figures + baselines)", len(all))
 	}
 	for _, e := range all {
 		if _, ok := ExperimentByID(e.ID); !ok {

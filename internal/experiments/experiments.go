@@ -120,6 +120,7 @@ func All() []Experiment {
 		{"fig20", "Per-tier coverage contribution", Fig20},
 		{"fig21", "Accuracy/coverage vs normalized performance", Fig21},
 		{"fig22", "Technique ablation on the two-thread add-up microbenchmark", Fig22},
+		{"baselines", "SPP/Chimera/HHP feedback baselines vs Fastswap and HoPP", Baselines},
 	}
 }
 

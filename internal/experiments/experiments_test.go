@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,6 +46,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 		"fig21", "fig22",
+		"baselines",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -313,6 +316,57 @@ func TestArtifactsAreByteStable(t *testing.T) {
 		}
 		if !bytes.Equal(first, second) {
 			t.Fatalf("%s: two in-process regenerations differ:\n--- first\n%s\n--- second\n%s", id, first, second)
+		}
+	}
+}
+
+// The prefetcher-substrate port (internal/swap → internal/prefetch,
+// feedback seams threaded through the VMM and machine) must not move a
+// single byte of the existing artifacts. The goldens were rendered at
+// Options{Seed: 1, Quick: true} immediately before the port; any drift
+// here means the "behavior-preserving" claim broke.
+func TestPortKeepsArtifactsByteIdentical(t *testing.T) {
+	for _, tc := range []struct{ id, golden string }{
+		{"table2", "port_golden_table2.txt"},
+		{"fig1", "port_golden_fig1.txt"},
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatalf("golden %s: %v", tc.golden, err)
+		}
+		var buf bytes.Buffer
+		for _, tab := range runExp(t, tc.id) {
+			tab.Fprint(&buf)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s drifted from the pre-port golden:\n--- golden\n%s\n--- got\n%s", tc.id, want, buf.Bytes())
+		}
+	}
+}
+
+// The feedback-baselines comparison must produce both frames with one
+// row per Fig. 16 workload and parseable cells.
+func TestBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tables := runExp(t, "baselines")
+	if len(tables) != 2 {
+		t.Fatalf("baselines returned %d tables, want 2", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 8 {
+			t.Fatalf("%q has %d rows, want 8", tab.Title, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%q row %v does not match header %v", tab.Title, row, tab.Header)
+			}
+			for _, c := range row[1:] {
+				if v := cell(t, c); v < 0 {
+					t.Fatalf("%q cell %q negative", tab.Title, c)
+				}
+			}
 		}
 	}
 }

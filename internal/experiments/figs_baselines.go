@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hopp/internal/sim"
+)
+
+// Baselines drops the related-work prefetchers hosted by the substrate
+// — SPP (signature-path), Chimera (accuracy-arbitrated hybrid), and
+// HHP (offset pattern tables) — into the Fig. 16/17 frames beside
+// Fastswap and HoPP: normalized performance against the all-local run,
+// and remote accesses normalized to no-prefetch. Not a paper figure;
+// the registry makes the same comparison servable ad hoc
+// (system=spp/chimera/hhp in runs and sweeps), this experiment is the
+// canonical fixed-seed table of it.
+func Baselines(ctx context.Context, o Options) ([]Table, error) {
+	systems := func() []sim.System {
+		return []sim.System{sim.SPP(), sim.Chimera(), sim.HHP(), sim.Fastswap(), sim.HoPP()}
+	}
+	perf := Table{
+		Title:  "Feedback baselines: normalized performance of SPP, Chimera, HHP vs Fastswap, HoPP (50% local)",
+		Header: []string{"Workload", "SPP", "Chimera", "HHP", "Fastswap", "HoPP"},
+		Note:   "demand-path schemes trained by the prefetch feedback seams; HoPP's hardware hot-page stream stays ahead of all of them",
+	}
+	remote := Table{
+		Title:  "Feedback baselines: remote accesses normalized to no-prefetch",
+		Header: []string{"Workload", "SPP", "Chimera", "HHP", "Fastswap", "HoPP"},
+		Note:   "lower is fewer demand+prefetch remote reads per useful page; confidence throttling trades coverage for accuracy",
+	}
+	for _, g := range fig16Workloads(o) {
+		none, err := o.runOne(ctx, sim.NoPrefetch(), g, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("baselines %s: %w", g.Name(), err)
+		}
+		cmp, err := o.compareAll(ctx, g, 0.5, systems()...)
+		if err != nil {
+			return nil, fmt.Errorf("baselines %s: %w", g.Name(), err)
+		}
+		perfRow := []string{cmp.Workload}
+		remoteRow := []string{cmp.Workload}
+		for i := range cmp.Results {
+			perfRow = append(perfRow, f3(cmp.Normalized(i)))
+			remoteRow = append(remoteRow, f3(cmp.Results[i].RemoteAccessRatio(none)))
+		}
+		perf.Rows = append(perf.Rows, perfRow)
+		remote.Rows = append(remote.Rows, remoteRow)
+	}
+	return []Table{perf, remote}, nil
+}

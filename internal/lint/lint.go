@@ -72,7 +72,7 @@ var DeterministicPackages = map[string]bool{
 	"cachesim":    true,
 	"proto":       true,
 	"hmtt":        true,
-	"swap":        true,
+	"prefetch":    true,
 	"vmm":         true,
 	"vclock":      true,
 	"core":        true,

@@ -1,0 +1,101 @@
+package prefetch
+
+import (
+	"testing"
+
+	"hopp/internal/memsim"
+)
+
+// The accuracy-shift test from the substrate's acceptance criteria: a
+// stride-16 fault stream with adversarial feedback that rewards only
+// spatial-shaped candidates (delta +1..+8 from the trigger) and evicts
+// everything else unused. The arbiter must migrate to the spatial
+// component even though the stream itself is a clean stride the stride
+// component predicts perfectly — demonstrating that the feedback
+// seams, not the fault pattern, drive component selection.
+func TestChimeraAccuracyShiftsArbiter(t *testing.T) {
+	c := NewChimera(8, 16)
+	vpn := memsim.VPN(1 << 20)
+	for i := 0; i < 200; i++ {
+		out := c.OnFault(0, k(1, vpn))
+		for _, v := range out {
+			d := int64(v) - int64(vpn)
+			if d >= 1 && d <= 8 {
+				c.OnPrefetchHit(0, k(1, v))
+			} else {
+				c.OnPrefetchEvicted(0, k(1, v), false)
+			}
+		}
+		vpn += 16
+	}
+	if got := c.Leader(); got != "spatial" {
+		t.Fatalf("arbiter leader = %q after adversarial feedback, want spatial", got)
+	}
+	// faults is 201 on the next call, not a multiple of explore=16, so
+	// this is a non-explore round and the leader issues: exactly +1..+8.
+	out := c.OnFault(0, k(1, vpn))
+	if len(out) != 8 {
+		t.Fatalf("leader round issued %v, want 8 spatial pages", out)
+	}
+	for i, v := range out {
+		if v != vpn+memsim.VPN(i+1) {
+			t.Fatalf("leader round issued %v, want %d..%d", out, vpn+1, vpn+8)
+		}
+	}
+	if c.comp[chimSpatial].useful == 0 || c.comp[chimStride].useless == 0 {
+		t.Fatalf("feedback tallies not consumed: %+v", c.comp)
+	}
+}
+
+// With feedback rewarding the stride component instead, the same
+// stream keeps (or returns) the stride leader and non-explore rounds
+// issue the stride continuation.
+func TestChimeraRewardedStrideLeads(t *testing.T) {
+	c := NewChimera(4, 16)
+	vpn := memsim.VPN(1 << 20)
+	for i := 0; i < 200; i++ {
+		out := c.OnFault(0, k(1, vpn))
+		for _, v := range out {
+			if (int64(v)-int64(vpn))%16 == 0 {
+				c.OnPrefetchHit(0, k(1, v))
+			} else {
+				c.OnPrefetchEvicted(0, k(1, v), false)
+			}
+		}
+		vpn += 16
+	}
+	if got := c.Leader(); got != "stride" {
+		t.Fatalf("arbiter leader = %q with stride-rewarding feedback, want stride", got)
+	}
+	out := c.OnFault(0, k(1, vpn))
+	if len(out) != 4 {
+		t.Fatalf("leader round issued %v, want 4 stride pages", out)
+	}
+	for i, v := range out {
+		if v != vpn+memsim.VPN(16*(i+1)) {
+			t.Fatalf("leader round issued %v, want stride-16 continuation", out)
+		}
+	}
+}
+
+// A used eviction must credit the component like a hit: the prefetch
+// served its purpose before reclaim.
+func TestChimeraUsedEvictionCredits(t *testing.T) {
+	c := NewChimera(2, 16)
+	vpn := memsim.VPN(4096)
+	for i := 0; i < 8; i++ {
+		out := c.OnFault(0, k(1, vpn))
+		for _, v := range out {
+			c.OnPrefetchEvicted(0, k(1, v), true)
+		}
+		vpn += 16
+	}
+	var useful, useless uint64
+	for i := range c.comp {
+		useful += c.comp[i].useful
+		useless += c.comp[i].useless
+	}
+	if useful == 0 || useless != 0 {
+		t.Fatalf("used evictions tallied useful=%d useless=%d, want all useful", useful, useless)
+	}
+}

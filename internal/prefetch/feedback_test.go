@@ -1,0 +1,103 @@
+package prefetch
+
+import (
+	"testing"
+
+	"hopp/internal/memsim"
+)
+
+// feedbackSpecs lists the schemes that consume the feedback seams; the
+// determinism and zero-alloc guarantees below are their acceptance
+// criteria.
+var feedbackSpecs = []string{"spp", "chimera", "hhp"}
+
+// faultStream drives a prefetcher through a deterministic mixed
+// workload — stride runs, region-local bursts, and jumps, all from a
+// fixed-seed xorshift — applying hit/evict feedback to a rotating
+// subset of issued pages. It returns every VPN the scheme issued.
+func faultStream(p Prefetcher, faults int) []memsim.VPN {
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var issued []memsim.VPN
+	vpn := memsim.VPN(1 << 16)
+	for i := 0; i < faults; i++ {
+		switch next() % 8 {
+		case 0: // jump to a new neighbourhood
+			vpn = memsim.VPN(1<<16 + next()%(1<<20))
+		case 1, 2: // region-local burst
+			vpn = (vpn &^ 63) + memsim.VPN(next()%64)
+		default: // stride run
+			vpn += memsim.VPN(1 + next()%16)
+		}
+		pid := memsim.PID(1 + next()%4)
+		out := p.OnFault(0, memsim.PageKey{PID: pid, VPN: vpn})
+		for _, v := range out {
+			issued = append(issued, v)
+			switch next() % 3 {
+			case 0:
+				p.OnPrefetchHit(0, memsim.PageKey{PID: pid, VPN: v})
+			case 1:
+				p.OnPrefetchEvicted(0, memsim.PageKey{PID: pid, VPN: v}, next()%2 == 0)
+			}
+		}
+	}
+	return issued
+}
+
+// Two instances of the same spec driven through the same fault and
+// feedback stream must issue identical prefetch streams — the schemes
+// are deterministic, as lint.DeterministicPackages declares.
+func TestFeedbackSchemesDeterministic(t *testing.T) {
+	for _, spec := range feedbackSpecs {
+		a, err := New(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := faultStream(a, 4096)
+		sb := faultStream(b, 4096)
+		if len(sa) == 0 {
+			t.Errorf("%s issued nothing over the mixed stream", spec)
+		}
+		if len(sa) != len(sb) {
+			t.Fatalf("%s nondeterministic: %d vs %d issues", spec, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s nondeterministic at issue %d: %d vs %d", spec, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+// The fault and feedback paths must not allocate in steady state: the
+// out buffer and every table are sized at construction.
+func TestFeedbackSchemesZeroAlloc(t *testing.T) {
+	for _, spec := range feedbackSpecs {
+		p, err := New(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultStream(p, 2048) // warm the tables
+		vpn := memsim.VPN(1 << 18)
+		avg := testing.AllocsPerRun(200, func() {
+			vpn += 16
+			out := p.OnFault(0, memsim.PageKey{PID: 1, VPN: vpn})
+			for _, v := range out {
+				p.OnPrefetchHit(0, memsim.PageKey{PID: 1, VPN: v})
+				p.OnPrefetchEvicted(0, memsim.PageKey{PID: 1, VPN: v}, false)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s fault+feedback path allocates %.1f per run", spec, avg)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package prefetch is the demand-path prefetcher substrate: the
+// Prefetcher interface the simulation engine drives on every major
+// fault, the feedback seams the VMM reports prefetch outcomes through,
+// and a self-registering name→constructor registry that gives the
+// daemon catalog, the CLIs, and sweep grid expansion one canonical
+// table of schemes.
+//
+// The ported kernel-based baselines HoPP is compared against:
+//
+//   - Readahead — Fastswap's sequential readahead on swap offsets [7]
+//   - Leap — majority-stride prefetching over the page fault history [38]
+//   - Depth-N — fixed-depth prefetching with early PTE injection [9]
+//   - VMA — Linux 5.4's VMA-clipped neighbourhood prefetching
+//   - None — no prefetching, the Fig. 17 normalization baseline
+//
+// plus the related-work baselines that need the feedback seams:
+//
+//   - SPP — signature-path prefetching with per-signature pattern
+//     tables and a path-confidence product (Kim et al., MICRO'16)
+//   - Chimera — a hybrid that arbitrates stride/spatial/history
+//     component schemes by their tracked prefetch accuracy
+//   - HHP — an offset pattern-table prefetcher that replays the
+//     footprint a trigger offset historically touched
+//
+// Each is a policy object invoked on every major fault; the simulation
+// engine lands the returned pages in the swapcache (or injects PTEs when
+// Inject reports true) and does all latency and metric accounting.
+package prefetch
+
+import (
+	"hopp/internal/memsim"
+	"hopp/internal/vclock"
+)
+
+// Prefetcher is a demand-path prefetch policy.
+type Prefetcher interface {
+	// Name identifies the system in experiment output.
+	Name() string
+	// OnFault is invoked on a major fault for key and returns the VPNs
+	// to prefetch alongside the demand page.
+	OnFault(now vclock.Time, key memsim.PageKey) []memsim.VPN
+	// Inject reports whether prefetched pages receive early PTE
+	// injection (Depth-N) instead of landing in the swapcache.
+	Inject() bool
+
+	// OnPrefetchHit is invoked when a prefetched page is first touched
+	// by the application — a swapcache hit, an injected-PTE hit, or a
+	// late hit on an in-flight prefetch. Confidence-trained schemes use
+	// it to reinforce the entry that issued the prefetch.
+	OnPrefetchHit(now vclock.Time, key memsim.PageKey)
+	// OnPrefetchEvicted is invoked when a prefetched page is reclaimed;
+	// used reports whether the application touched it first. An unused
+	// eviction is the strongest negative signal a prefetcher gets.
+	OnPrefetchEvicted(now vclock.Time, key memsim.PageKey, used bool)
+}
+
+// NopFeedback is embedded by schemes that ignore prefetch-outcome
+// feedback (the ported kernel baselines, which have no confidence
+// state). It keeps their behaviour byte-identical to the pre-substrate
+// port while satisfying the full Prefetcher interface.
+type NopFeedback struct{}
+
+// OnPrefetchHit implements Prefetcher; it discards the signal.
+func (NopFeedback) OnPrefetchHit(vclock.Time, memsim.PageKey) {}
+
+// OnPrefetchEvicted implements Prefetcher; it discards the signal.
+func (NopFeedback) OnPrefetchEvicted(vclock.Time, memsim.PageKey, bool) {}
+
+// RegionResolver lets the VMA prefetcher find the memory area containing
+// a page. The simulation engine implements it from workload regions.
+type RegionResolver interface {
+	// Region returns the [start, end) VPN bounds of the VMA holding the
+	// page, if any.
+	Region(key memsim.PageKey) (start, end memsim.VPN, ok bool)
+}

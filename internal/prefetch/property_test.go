@@ -1,4 +1,4 @@
-package swap
+package prefetch
 
 import (
 	"math/rand"

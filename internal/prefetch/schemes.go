@@ -1,36 +1,20 @@
-// Package swap implements the demand-path prefetchers of the
-// kernel-based remote memory systems HoPP is compared against:
-//
-//   - Readahead — Fastswap's sequential readahead on swap offsets [7]
-//   - Leap — majority-stride prefetching over the page fault history [38]
-//   - Depth-N — fixed-depth prefetching with early PTE injection [9]
-//   - VMA — Linux 5.4's VMA-clipped neighbourhood prefetching
-//   - None — no prefetching, the Fig. 17 normalization baseline
-//
-// Each is a policy object invoked on every major fault; the simulation
-// engine lands the returned pages in the swapcache (or injects PTEs when
-// Inject reports true) and does all latency and metric accounting.
-package swap
+package prefetch
 
 import (
+	"strconv"
+
 	"hopp/internal/memsim"
 	"hopp/internal/vclock"
 )
 
-// Prefetcher is a demand-path prefetch policy.
-type Prefetcher interface {
-	// Name identifies the system in experiment output.
-	Name() string
-	// OnFault is invoked on a major fault for key and returns the VPNs
-	// to prefetch alongside the demand page.
-	OnFault(now vclock.Time, key memsim.PageKey) []memsim.VPN
-	// Inject reports whether prefetched pages receive early PTE
-	// injection (Depth-N) instead of landing in the swapcache.
-	Inject() bool
-}
+// The ported kernel baselines. These moved verbatim from the old
+// internal/swap package: their OnFault streams are byte-identical to
+// the pre-substrate port (regression-locked by the experiments golden
+// tests), and they embed NopFeedback because none of them carries
+// confidence state to train.
 
 // None is the no-prefetch baseline.
-type None struct{}
+type None struct{ NopFeedback }
 
 // Name implements Prefetcher.
 func (None) Name() string { return "NoPrefetch" }
@@ -48,6 +32,7 @@ func (None) Inject() bool { return false }
 // faithful approximation (the paper makes the same observation in §VI-E:
 // "Fastswap prefetches adjacent pages based on swap offset").
 type Readahead struct {
+	NopFeedback
 	// Window is the number of pages to read ahead. Default 8, Linux's
 	// default page-cluster of 3 (2³ pages).
 	Window int
@@ -85,6 +70,7 @@ func (r *Readahead) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
 // streams, interleaved streams corrupt the stride — the §II-B limitation
 // Fig. 1 illustrates.
 type Leap struct {
+	NopFeedback
 	// HistoryWindow is how many recent faults feed stride detection.
 	// Default 4 (the configuration Fig. 1 analyses).
 	HistoryWindow int
@@ -181,6 +167,7 @@ func (l *Leap) majorityStride(h []memsim.VPN) (memsim.Stride, bool) {
 // immediately. N is fixed — with PTEs injected, no fault ever reports
 // whether the prefetches were useful, so the depth cannot adapt.
 type DepthN struct {
+	NopFeedback
 	// N is the fixed prefetch depth; the paper evaluates 16 and 32.
 	N int
 }
@@ -194,15 +181,7 @@ func NewDepthN(n int) *DepthN {
 }
 
 // Name implements Prefetcher.
-func (d *DepthN) Name() string {
-	if d.N == 16 {
-		return "Depth-16"
-	}
-	if d.N == 32 {
-		return "Depth-32"
-	}
-	return "Depth-N"
-}
+func (d *DepthN) Name() string { return "Depth-" + strconv.Itoa(d.N) }
 
 // Inject implements Prefetcher.
 func (d *DepthN) Inject() bool { return true }
@@ -216,18 +195,11 @@ func (d *DepthN) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
 	return out
 }
 
-// RegionResolver lets the VMA prefetcher find the memory area containing
-// a page. The simulation engine implements it from workload regions.
-type RegionResolver interface {
-	// Region returns the [start, end) VPN bounds of the VMA holding the
-	// page, if any.
-	Region(key memsim.PageKey) (start, end memsim.VPN, ok bool)
-}
-
 // VMA is Linux 5.4's VMA-based prefetcher: readahead around the fault,
 // clipped to the containing VMA — "VMA is a resemblance of page
 // clustering" (§VI-E), which is why it beats raw swap-offset readahead.
 type VMA struct {
+	NopFeedback
 	// Window is the total neighbourhood size. Default 8.
 	Window   int
 	resolver RegionResolver
@@ -249,6 +221,9 @@ func (v *VMA) Inject() bool { return false }
 
 // OnFault implements Prefetcher.
 func (v *VMA) OnFault(_ vclock.Time, key memsim.PageKey) []memsim.VPN {
+	if v.resolver == nil {
+		return nil
+	}
 	start, end, ok := v.resolver.Region(key)
 	if !ok {
 		return nil

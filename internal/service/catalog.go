@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hopp/internal/core"
+	"hopp/internal/prefetch"
 	"hopp/internal/sim"
 	"hopp/internal/workload"
 )
@@ -64,15 +65,13 @@ var workloadCatalog = map[string]func(quick bool) workload.Generator{
 	"random":       func(q bool) workload.Generator { return workload.NewRandom(quickScale(2048, q), quickScale(8192, q)) },
 }
 
-// systemCatalog maps canonical system names to constructors.
+// systemCatalog maps the HoPP-variant system names to constructors.
+// Demand-path systems are NOT listed here: they resolve through the
+// prefetch registry (sim.DemandSystem), so a scheme registered there is
+// immediately servable from runs, sweeps, and the CLIs with no catalog
+// edit. Only systems that attach the MC/core stack need an entry.
 var systemCatalog = map[string]func() sim.System{
-	"hopp":       sim.HoPP,
-	"fastswap":   sim.Fastswap,
-	"leap":       sim.Leap,
-	"vma":        sim.VMA,
-	"depth-16":   func() sim.System { return sim.DepthN(16) },
-	"depth-32":   func() sim.System { return sim.DepthN(32) },
-	"noprefetch": sim.NoPrefetch,
+	"hopp": sim.HoPP,
 	"hopp-markov": func() sim.System {
 		p := core.DefaultParams()
 		p.Algorithm = "markov"
@@ -99,14 +98,36 @@ var systemCatalog = map[string]func() sim.System{
 // WorkloadNames returns every catalog workload name, sorted.
 func WorkloadNames() []string { return sortedNames(workloadCatalog) }
 
-// SystemNames returns every catalog system name, sorted.
-func SystemNames() []string { return sortedNames(systemCatalog) }
+// SystemNames returns every servable system spec, sorted: the HoPP
+// variants plus every advertised prefetch-registry spec.
+func SystemNames() []string {
+	names := sortedNames(systemCatalog)
+	names = append(names, prefetch.Specs()...)
+	sort.Strings(names)
+	return names
+}
 
 // NumWorkloads reports the catalog workload count (a /metrics gauge).
 func NumWorkloads() int { return len(workloadCatalog) }
 
-// NumSystems reports the catalog system count (a /metrics gauge).
-func NumSystems() int { return len(systemCatalog) }
+// NumSystems reports the servable system count (a /metrics gauge):
+// HoPP variants plus advertised registry specs.
+func NumSystems() int { return len(systemCatalog) + len(prefetch.Specs()) }
+
+// canonicalSystem resolves any accepted system spec to its canonical
+// form: HoPP-variant names pass through, everything else canonicalizes
+// via the prefetch registry (depth?n=16 → depth-16).
+func canonicalSystem(name string) (string, bool) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if _, ok := systemCatalog[n]; ok {
+		return n, true
+	}
+	canon, err := prefetch.Canonical(n)
+	if err != nil {
+		return "", false
+	}
+	return canon, true
+}
 
 // NewWorkload builds a catalog workload at standard (or quick) scale.
 func NewWorkload(name string, quick bool) (workload.Generator, bool) {
@@ -117,13 +138,18 @@ func NewWorkload(name string, quick bool) (workload.Generator, bool) {
 	return f(quick), true
 }
 
-// NewSystem builds a catalog system.
+// NewSystem builds a servable system from a catalog name or a
+// prefetch-registry spec.
 func NewSystem(name string) (sim.System, bool) {
-	f, ok := systemCatalog[strings.ToLower(name)]
-	if !ok {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if f, ok := systemCatalog[n]; ok {
+		return f(), true
+	}
+	sys, err := sim.DemandSystem(n)
+	if err != nil {
 		return sim.System{}, false
 	}
-	return f(), true
+	return sys, true
 }
 
 func sortedNames[V any](m map[string]V) []string {

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// Every advertised system spec — HoPP variants and prefetch-registry
+// schemes alike — must survive the full service round-trip: canonical
+// resolution, request normalization, and construction.
+func TestSystemCatalogRoundTrip(t *testing.T) {
+	names := SystemNames()
+	if len(names) != NumSystems() {
+		t.Fatalf("SystemNames has %d entries, NumSystems reports %d", len(names), NumSystems())
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("duplicate advertised system %q", name)
+		}
+		seen[name] = true
+		canon, ok := canonicalSystem(name)
+		if !ok {
+			t.Errorf("advertised system %q does not canonicalize", name)
+			continue
+		}
+		if canon != name {
+			t.Errorf("advertised system %q is not canonical (-> %q)", name, canon)
+		}
+		sys, ok := NewSystem(name)
+		if !ok || sys.Name == "" {
+			t.Errorf("advertised system %q does not construct", name)
+		}
+		n, _, err := (RunRequest{Workload: "sequential", System: name, Seed: 1, Quick: true}).Normalize()
+		if err != nil {
+			t.Errorf("advertised system %q fails Normalize: %v", name, err)
+			continue
+		}
+		if n.System != name {
+			t.Errorf("Normalize rewrote advertised system %q to %q", name, n.System)
+		}
+	}
+	for _, want := range []string{"spp", "chimera", "hhp", "depth-16", "hopp"} {
+		if !seen[want] {
+			t.Errorf("system %q missing from the advertised catalog", want)
+		}
+	}
+}
+
+// The /metrics catalog gauge must advertise the merged catalog size, so
+// registering a scheme grows it with no service-layer edit.
+func TestMetricsCatalogGaugeCoversRegistry(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	m := e.Metrics()
+	if m.CatalogSystems != NumSystems() || m.CatalogSystems != len(SystemNames()) {
+		t.Fatalf("CatalogSystems gauge = %d, want %d (= len(SystemNames) %d)",
+			m.CatalogSystems, NumSystems(), len(SystemNames()))
+	}
+	if m.CatalogWorkloads != NumWorkloads() {
+		t.Fatalf("CatalogWorkloads gauge = %d, want %d", m.CatalogWorkloads, NumWorkloads())
+	}
+}
+
+// Equivalent registry specs must normalize to one cache key: depth?n=16
+// and DEPTH-16 are the same simulation and share a cache entry and a
+// sweep dedupe slot.
+func TestNormalizeCanonicalizesRegistrySpecs(t *testing.T) {
+	a, keyA, err := (RunRequest{Workload: "sequential", System: "depth?n=16", Seed: 7}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, keyB, err := (RunRequest{Workload: "sequential", System: " DEPTH-16 ", Seed: 7}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA != keyB {
+		t.Fatalf("equivalent specs keyed differently:\n  %s\n  %s", keyA, keyB)
+	}
+	if a.System != "depth-16" {
+		t.Fatalf("normalized system = %q, want depth-16", a.System)
+	}
+	b, _, err := (RunRequest{Workload: "sequential", System: "spp?lookahead=4&threshold=25", Seed: 7}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.System != "spp" {
+		t.Fatalf("default-parameter spec normalized to %q, want spp", b.System)
+	}
+}
+
+// The new feedback schemes are servable end-to-end from POST /v1/runs,
+// parameterized specs included.
+func TestHTTPRunsServeRegistrySchemes(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2})
+	for _, system := range []string{"spp", "chimera", "hhp", "spp?lookahead=2"} {
+		frac := 0.25
+		st, code := postRun(t, srv.URL, RunRequest{
+			Workload: "sequential", System: system, Frac: &frac, Seed: 1, Quick: true,
+		})
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit %s: status %d", system, code)
+		}
+		if final := pollRun(t, srv.URL, st.ID); final.State != StateDone {
+			t.Fatalf("run %s ended %s (%s)", system, final.State, final.Error)
+		}
+	}
+}
+
+// readGroups fetches the seed-aggregated results form.
+func readGroups(t *testing.T, url string) (string, []SweepGroup) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("group stream Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []SweepGroup
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var g SweepGroup
+		if err := json.Unmarshal(sc.Bytes(), &g); err != nil {
+			t.Fatalf("bad NDJSON group line %q: %v", sc.Text(), err)
+		}
+		groups = append(groups, g)
+	}
+	return string(raw), groups
+}
+
+// ?group-by=workload aggregates a finished sweep across seeds: one line
+// per (workload, system, frac) with mean/stddev of sim_ns.
+func TestHTTPSweepGroupByWorkload(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2})
+	req := quickSweep()
+	req.Seeds = []int64{1, 2} // 1 workload x 2 systems x 2 fracs x 2 seeds
+	st, code := postSweep(t, srv.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	pollSweep(t, srv.URL, st.ID)
+
+	url := srv.URL + "/v1/sweeps/" + st.ID + "/results?group-by=workload"
+	raw1, groups := readGroups(t, url)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4: %q", len(groups), raw1)
+	}
+	for i, g := range groups {
+		if g.Workload != "sequential" || g.System == "" {
+			t.Fatalf("group %d identity = %+v", i, g)
+		}
+		if g.Seeds != 2 || g.Pending != 0 || g.Failed != 0 {
+			t.Fatalf("group %d tallies = %+v, want 2 finished seeds", i, g)
+		}
+		if g.MeanSimNS <= 0 || g.StddevSimNS < 0 {
+			t.Fatalf("group %d statistics = %+v", i, g)
+		}
+	}
+
+	// Snapshot form: a second read of a finished sweep is byte-identical.
+	raw2, _ := readGroups(t, url)
+	if raw1 != raw2 {
+		t.Fatalf("two group reads of a finished sweep diverged:\n%s\nvs\n%s", raw1, raw2)
+	}
+
+	// Unsupported group keys and the follow combination are rejected.
+	for _, bad := range []string{"?group-by=system", "?group-by=workload&follow=true"} {
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + st.ID + "/results" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Unknown sweep IDs 404 through the group form too.
+	resp, err := http.Get(srv.URL + "/v1/sweeps/r999999/results?group-by=workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep group read: %d, want 404", resp.StatusCode)
+	}
+}

@@ -83,9 +83,14 @@ func (r RunRequest) Normalize() (RunRequest, string, error) {
 	if _, ok := workloadCatalog[n.Workload]; !ok {
 		return n, "", fmt.Errorf("%w %q", ErrUnknownWorkload, r.Workload)
 	}
-	if _, ok := systemCatalog[n.System]; !ok {
+	canon, ok := canonicalSystem(n.System)
+	if !ok {
 		return n, "", fmt.Errorf("%w %q", ErrUnknownSystem, r.System)
 	}
+	// Registry specs canonicalize (depth?n=16 ≡ depth-16,
+	// spp?lookahead=4 ≡ spp), so equivalent parameterized requests
+	// share one cache entry and one dedupe slot.
+	n.System = canon
 	if n.Frac == nil {
 		f := 0.5
 		n.Frac = &f

@@ -214,7 +214,10 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 	// tailing a live sweep to completion; the request context bounds the
 	// wait, so a client that disconnects (or stalls past the server's
 	// write timeout) releases nothing more than this handler goroutine —
-	// the sweep itself keeps running.
+	// the sweep itself keeps running. ?group-by=workload switches to the
+	// seed-aggregated form: one line per (workload, system, frac) with
+	// mean/stddev of sim_ns across seeds (snapshot-only, so it cannot
+	// combine with follow).
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		follow := false
 		if f := r.URL.Query().Get("follow"); f != "" {
@@ -226,6 +229,33 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 			follow = v
 		}
 		id := r.PathValue("id")
+		if g := r.URL.Query().Get("group-by"); g != "" {
+			if g != "workload" {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad group-by %q (only \"workload\")", g))
+				return
+			}
+			if follow {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("group-by is a snapshot form and cannot combine with follow"))
+				return
+			}
+			groups, err := e.SweepGroups(id)
+			if err != nil {
+				writeError(w, errStatus(err), err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			enc := json.NewEncoder(w)
+			for i := range groups {
+				if cfg.Faults.ErrAt(faults.SiteHTTPResultsWrite) != nil {
+					return // injected mid-stream write failure: stream ends torn
+				}
+				if err := enc.Encode(&groups[i]); err != nil {
+					return
+				}
+			}
+			return
+		}
 		n, err := e.SweepLen(id)
 		if err != nil {
 			writeError(w, errStatus(err), err)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -758,6 +759,101 @@ func (e *Engine) SweepPointAt(ctx context.Context, id string, i int, wait bool) 
 			return SweepPoint{}, false, ctx.Err()
 		}
 	}
+}
+
+// SweepGroup is one line of GET /v1/sweeps/{id}/results?group-by=
+// workload: the seed-aggregated outcome of one (workload, system, frac)
+// grid point. Seeds are a sweep's replication axis, so the aggregation
+// is mean and sample standard deviation of simulated completion time
+// across the point's finished seeds — the paper-table shape (one row
+// per workload × system × frac) without the client-side reduce.
+type SweepGroup struct {
+	Workload string  `json:"workload"`
+	System   string  `json:"system"`
+	Frac     float64 `json:"frac"`
+	// Seeds counts the successfully finished points aggregated below.
+	Seeds int `json:"seeds"`
+	// Pending counts points not yet terminal (the snapshot excludes
+	// them from the statistics); Failed counts failed/cancelled/lost
+	// points.
+	Pending int `json:"pending,omitempty"`
+	Failed  int `json:"failed,omitempty"`
+	// Cached counts aggregated points served from the result cache.
+	Cached int `json:"cached,omitempty"`
+	// MeanSimNS/StddevSimNS summarize sim_ns across the Seeds points;
+	// stddev is the sample deviation (0 with fewer than two seeds).
+	MeanSimNS   float64 `json:"mean_sim_ns"`
+	StddevSimNS float64 `json:"stddev_sim_ns"`
+}
+
+// SweepGroups aggregates a sweep's points across seeds, one group per
+// distinct (workload, system, frac), in first-occurrence expansion
+// order. Like the default results stream it snapshots: points still in
+// flight are counted as pending, not waited for, so two calls on a
+// finished sweep are byte-identical.
+func (e *Engine) SweepGroups(id string) ([]SweepGroup, error) {
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	j, ok := e.reg.getLocked(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	if j.Kind != KindSweep {
+		return nil, fmt.Errorf("%w: %s is a %s job", ErrNotSweep, id, j.Kind)
+	}
+	sw := j.sweep
+	var (
+		groups []SweepGroup
+		sims   [][]float64 // per-group sim_ns samples, parallel to groups
+		index  = make(map[string]int, len(sw.childIDs))
+	)
+	for i := range sw.childIDs {
+		pt, c := e.sweepPointLocked(sw, i)
+		// Frac is rendered with the cache-key precision so grouping
+		// can't split points the cache would merge.
+		key := fmt.Sprintf("%s|%s|%.9g", pt.Workload, pt.System, pt.Frac)
+		gi, seen := index[key]
+		if !seen {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, SweepGroup{Workload: pt.Workload, System: pt.System, Frac: pt.Frac})
+			sims = append(sims, nil)
+		}
+		g := &groups[gi]
+		switch {
+		case c != nil && !c.State.Terminal():
+			g.Pending++
+		case pt.State == StateDone:
+			g.Seeds++
+			if pt.Cached {
+				g.Cached++
+			}
+			sims[gi] = append(sims[gi], float64(pt.SimNS))
+		default: // failed, cancelled, or lost
+			g.Failed++
+		}
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		vals := sims[gi]
+		if len(vals) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		g.MeanSimNS = sum / float64(len(vals))
+		if len(vals) > 1 {
+			ss := 0.0
+			for _, v := range vals {
+				d := v - g.MeanSimNS
+				ss += d * d
+			}
+			g.StddevSimNS = math.Sqrt(ss / float64(len(vals)-1))
+		}
+	}
+	return groups, nil
 }
 
 // sweepPointLocked renders point i; reg.mu must be held. The returned

@@ -9,9 +9,9 @@ import (
 	"hopp/internal/core"
 	"hopp/internal/mc"
 	"hopp/internal/memsim"
+	"hopp/internal/prefetch"
 	"hopp/internal/proto"
 	"hopp/internal/rdma"
-	"hopp/internal/swap"
 	"hopp/internal/vclock"
 	"hopp/internal/vmm"
 	"hopp/internal/workload"
@@ -134,8 +134,8 @@ type Machine struct {
 	// tracker is a plain *mc.Controller, the per-miss observe/pending
 	// calls go straight to it instead of through the interface.
 	mcSingle  *mc.Controller
-	pref      *core.Prefetcher // nil unless System.HoPP
-	faultPref swap.Prefetcher  // nil for NoPrefetch
+	pref      *core.Prefetcher    // nil unless System.HoPP
+	faultPref prefetch.Prefetcher // nil for NoPrefetch
 
 	queue    vclock.EventQueue
 	apps     []*appState
@@ -292,7 +292,7 @@ func (m *Machine) sharedRegion(key memsim.PageKey) bool {
 	return false
 }
 
-// Region implements swap.RegionResolver for the VMA prefetcher.
+// Region implements prefetch.RegionResolver for the VMA prefetcher.
 func (m *Machine) Region(key memsim.PageKey) (memsim.VPN, memsim.VPN, bool) {
 	if int(key.PID) >= len(m.regionsByPID) {
 		return 0, 0, false
@@ -452,6 +452,9 @@ func (m *Machine) step(a *appState) error {
 			if m.pref != nil {
 				m.pref.Exec.OnFirstHit(key, a.now)
 			}
+			if m.faultPref != nil {
+				m.faultPref.OnPrefetchHit(a.now, key)
+			}
 		}
 		m.memAccess(a, ppn, acc)
 		return nil
@@ -515,6 +518,11 @@ func (m *Machine) swapCacheHit(a *appState, key memsim.PageKey, acc workload.Acc
 	if err != nil {
 		return err
 	}
+	// Only prefetches land in the swapcache, so this hit is the page's
+	// first touch — report it to the feedback seam.
+	if m.faultPref != nil {
+		m.faultPref.OnPrefetchHit(a.now, key)
+	}
 	m.reclaim(a, key.PID, a.now)
 	m.memAccess(a, ppn, acc)
 	return nil
@@ -574,6 +582,11 @@ func (m *Machine) lateHit(a *appState, key memsim.PageKey, acc workload.Access, 
 	m.met.PrefetchStall += cost
 	if m.pref != nil {
 		m.pref.Exec.NoteLateHit(key, a.now)
+	}
+	// A late hit still consumed the prefetch: first touch of a
+	// prefetched page, whichever state the landing left it in.
+	if m.faultPref != nil {
+		m.faultPref.OnPrefetchHit(a.now, key)
 	}
 	m.memAccess(a, ppn, acc)
 	return nil
@@ -675,6 +688,11 @@ func (m *Machine) reclaim(a *appState, pid memsim.PID, now vclock.Time) {
 		}
 		if v.WasInjected && m.pref != nil {
 			m.pref.Exec.OnEvicted(v.Key)
+		}
+		if v.WasPrefetched && m.faultPref != nil {
+			// A prefetched victim still flagged injected/swapcached was
+			// reclaimed before the app ever touched it.
+			m.faultPref.OnPrefetchEvicted(now, v.Key, !v.WasInjected && !v.WasSwapCached)
 		}
 	}
 	if a != nil && m.costs.SynchronousReclaim {

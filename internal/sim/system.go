@@ -2,15 +2,18 @@
 // simulated disaggregated-memory server: CPU caches filter accesses, the
 // VMM services faults with the §II-A cost model, the RDMA fabric moves
 // pages, the modified memory controller extracts hot pages, and the
-// system under test (Fastswap, Leap, Depth-N, VMA, or HoPP) prefetches.
+// system under test (a demand-path prefetcher from internal/prefetch,
+// or HoPP) prefetches.
 //
 // One Machine = one run of one system configuration over one or more
 // applications; Run returns the Metrics behind every figure in §VI.
 package sim
 
 import (
+	"strconv"
+
 	"hopp/internal/core"
-	"hopp/internal/swap"
+	"hopp/internal/prefetch"
 )
 
 // System describes a remote-memory system under test.
@@ -20,7 +23,7 @@ type System struct {
 	// NewFault constructs the demand-path prefetcher (per run, because
 	// prefetchers carry history). nil means no demand-path prefetching.
 	// The VMA prefetcher receives the machine as its RegionResolver.
-	NewFault func(regions swap.RegionResolver) swap.Prefetcher
+	NewFault func(regions prefetch.RegionResolver) prefetch.Prefetcher
 	// HoPP attaches the memory controller hardware and the core software
 	// data plane.
 	HoPP bool
@@ -31,42 +34,76 @@ type System struct {
 	ChargePrefetched bool
 }
 
-// Fastswap is the kernel-based baseline: readahead into the swapcache.
-func Fastswap() System {
-	return System{
-		Name:     "Fastswap",
-		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewReadahead(8) },
+// DemandSystem resolves a prefetch-registry spec ("leap", "depth-16",
+// "spp?lookahead=6") to a demand-path System. Every registered scheme
+// is reachable this way; the named wrappers below are conveniences over
+// the same table. The no-prefetch scheme keeps its nil-NewFault fast
+// path (the machine skips the prefetcher hooks entirely).
+func DemandSystem(spec string) (System, error) {
+	// Probe once for the display name; prefetchers carry run state, so
+	// the probe instance is never used for simulation.
+	probe, err := prefetch.New(spec, nil)
+	if err != nil {
+		return System{}, err
 	}
+	if _, none := probe.(prefetch.None); none {
+		return System{Name: probe.Name()}, nil
+	}
+	canon, err := prefetch.Canonical(spec)
+	if err != nil {
+		return System{}, err
+	}
+	return System{
+		Name: probe.Name(),
+		NewFault: func(r prefetch.RegionResolver) prefetch.Prefetcher {
+			p, err := prefetch.New(canon, r)
+			if err != nil {
+				// canon already parsed above; a failure here is a
+				// registry bug, not an input error.
+				panic(err)
+			}
+			return p
+		},
+	}, nil
 }
 
-// Leap is majority-stride prefetching into the swapcache.
-func Leap() System {
-	return System{
-		Name:     "Leap",
-		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewLeap(4, 8) },
+func mustDemand(spec string) System {
+	s, err := DemandSystem(spec)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
+
+// Fastswap is the kernel-based baseline: readahead into the swapcache.
+func Fastswap() System { return mustDemand("fastswap") }
+
+// Leap is majority-stride prefetching into the swapcache.
+func Leap() System { return mustDemand("leap") }
 
 // DepthN is fixed-depth prefetching with early PTE injection.
 func DepthN(n int) System {
-	return System{
-		Name:     swap.NewDepthN(n).Name(),
-		NewFault: func(swap.RegionResolver) swap.Prefetcher { return swap.NewDepthN(n) },
+	if n <= 0 {
+		n = 32 // match prefetch.NewDepthN's default for the spec label
 	}
+	return mustDemand("depth-" + strconv.Itoa(n))
 }
 
 // VMA is Linux 5.4's VMA-clipped readahead.
-func VMA() System {
-	return System{
-		Name:     "VMA",
-		NewFault: func(r swap.RegionResolver) swap.Prefetcher { return swap.NewVMA(8, r) },
-	}
-}
+func VMA() System { return mustDemand("vma") }
 
 // NoPrefetch is the demand-only baseline normalizing Fig. 17.
-func NoPrefetch() System {
-	return System{Name: "NoPrefetch"}
-}
+func NoPrefetch() System { return mustDemand("noprefetch") }
+
+// SPP is signature-path prefetching with confidence-throttled lookahead.
+func SPP() System { return mustDemand("spp") }
+
+// Chimera is the hybrid prefetcher arbitrating stride/spatial/history
+// components by their tracked accuracy.
+func Chimera() System { return mustDemand("chimera") }
+
+// HHP is offset pattern-table prefetching keyed by region triggers.
+func HHP() System { return mustDemand("hhp") }
 
 // HoPP is the full co-designed system: Fastswap's demand path plus the
 // MC hot-page data plane driving adaptive three-tier prefetching with
@@ -78,11 +115,10 @@ func HoPP() System {
 // HoPPWith is HoPP with explicit core parameters (tier ablations, fixed
 // offsets, intensity sweeps).
 func HoPPWith(params core.Params) System {
-	return System{
-		Name:             "HoPP",
-		NewFault:         func(swap.RegionResolver) swap.Prefetcher { return swap.NewReadahead(8) },
-		HoPP:             true,
-		HoPPParams:       params,
-		ChargePrefetched: true,
-	}
+	s := mustDemand("fastswap")
+	s.Name = "HoPP"
+	s.HoPP = true
+	s.HoPPParams = params
+	s.ChargePrefetched = true
+	return s
 }

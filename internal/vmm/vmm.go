@@ -52,10 +52,14 @@ type page struct {
 	ppn      memsim.PPN
 	state    PageState // Mapped or SwapCached
 	injected bool      // mapped by early PTE injection, not yet touched
-	charged  bool      // counted against the cgroup
-	seq      uint64    // swapcache insertion sequence, for freshness
-	prev     *page
-	next     *page
+	// prefetched is sticky: set when the page arrived via any prefetch
+	// (swapcache landing or PTE injection) and kept through promotion,
+	// so eviction can report prefetch provenance to the feedback seams.
+	prefetched bool
+	charged    bool   // counted against the cgroup
+	seq        uint64 // swapcache insertion sequence, for freshness
+	prev       *page
+	next       *page
 }
 
 // lruList is an intrusive doubly-linked list; head is MRU, tail is LRU.
@@ -180,6 +184,11 @@ type Victim struct {
 	WasInjected bool
 	// WasSwapCached is true when the page sat unpromoted in the swapcache.
 	WasSwapCached bool
+	// WasPrefetched is true when the page originally arrived via a
+	// prefetch (swapcache landing or PTE injection), whether or not it
+	// was touched afterwards. A prefetched victim still carrying
+	// WasInjected or WasSwapCached was reclaimed unused.
+	WasPrefetched bool
 }
 
 // VMM is the machine-wide virtual memory subsystem.
@@ -459,7 +468,7 @@ func (v *VMM) mapFresh(key memsim.PageKey, injected bool, counter *uint64) (mems
 		return 0, err
 	}
 	p := v.newPage()
-	*p = page{key: key, ppn: ppn, state: Mapped, injected: injected, charged: true}
+	*p = page{key: key, ppn: ppn, state: Mapped, injected: injected, prefetched: injected, charged: true}
 	g.pt.set(key.VPN, p)
 	g.active.pushFront(p)
 	g.charged++
@@ -486,7 +495,7 @@ func (v *VMM) InsertSwapCache(key memsim.PageKey) (memsim.PPN, error) {
 	}
 	v.insertSeq++
 	p := v.newPage()
-	*p = page{key: key, ppn: ppn, state: SwapCached, charged: v.cfg.ChargePrefetched, seq: v.insertSeq}
+	*p = page{key: key, ppn: ppn, state: SwapCached, prefetched: true, charged: v.cfg.ChargePrefetched, seq: v.insertSeq}
 	g.pt.set(key.VPN, p)
 	g.inactive.pushFront(p)
 	if p.charged {
@@ -634,6 +643,7 @@ func (v *VMM) evict(g *Cgroup, p *page) Victim {
 		WasMapped:     p.state == Mapped,
 		WasInjected:   p.injected,
 		WasSwapCached: p.state == SwapCached,
+		WasPrefetched: p.prefetched,
 	}
 	if p.state == Mapped {
 		g.active.remove(p)

@@ -3,6 +3,8 @@
 # performance regression in the paths everything else rides on —
 #
 #   machine_maccess_per_s   raw per-access simulation throughput
+#   spp_maccess_per_s       the same loop under the SPP feedback scheme
+#                           (fault path + feedback seams)
 #   table2_ns_per_op        one full experiment regeneration (quick)
 #   sweep_speedup           one 8-point sweep vs the same 8 points as
 #                           individual runs (shared-stream win)
@@ -27,8 +29,10 @@ trap 'rm -f "$tmp"' EXIT
 
 # Capture the committed baseline before overwriting it.
 base_maccess=""
+base_spp=""
 if [ -f "$out" ]; then
     base_maccess=$(awk -F'[:,]' '/"machine_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
+    base_spp=$(awk -F'[:,]' '/"spp_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
 fi
 
 echo "== go test -bench (hot loop: machine + table2)"
@@ -38,6 +42,13 @@ echo "== go test -bench (sweep vs individual)"
 go test -bench 'SweepVsIndividual' -run '^$' -benchtime 3x ./internal/service/ | tee -a "$tmp"
 
 awk '
+# The SPP stanza must come first with next: awk patterns are prefix
+# regexes, so /^BenchmarkMachineThroughput/ would also match the SPP
+# benchmark line and clobber the base number.
+/^BenchmarkMachineThroughputSPP/ {
+    for (i = 1; i <= NF; i++) if ($i == "Maccess/s") spp = $(i - 1)
+    next
+}
 /^BenchmarkMachineThroughput/ {
     for (i = 1; i <= NF; i++) if ($i == "Maccess/s") maccess = $(i - 1)
 }
@@ -52,12 +63,13 @@ awk '
     }
 }
 END {
-    if (maccess == "" || table2 == "" || speedup == "") {
+    if (maccess == "" || spp == "" || table2 == "" || speedup == "") {
         print "bench.sh: missing benchmark output" > "/dev/stderr"
         exit 1
     }
     printf "{\n"
     printf "  \"machine_maccess_per_s\": %s,\n", maccess
+    printf "  \"spp_maccess_per_s\": %s,\n", spp
     printf "  \"table2_ns_per_op\": %s,\n", table2
     printf "  \"sweep_speedup\": %s,\n", speedup
     printf "  \"sweep_ns_per_grid\": %s,\n", sweep
@@ -68,18 +80,27 @@ END {
 echo "bench.sh: wrote $out"
 cat "$out"
 
-new_maccess=$(awk -F'[:,]' '/"machine_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
-if [ -n "$base_maccess" ]; then
-    echo "bench.sh: machine_maccess_per_s $base_maccess (baseline) -> $new_maccess"
-    if ! awk -v new="$new_maccess" -v base="$base_maccess" \
+# compare_metric NAME BASELINE NEW applies the 10% regression gate to
+# one throughput number; BENCH_STRICT=1 turns a breach fatal.
+compare_metric() {
+    name=$1 base=$2 new=$3
+    if [ -z "$base" ]; then
+        echo "bench.sh: no committed $name baseline to compare against"
+        return 0
+    fi
+    echo "bench.sh: $name $base (baseline) -> $new"
+    if ! awk -v new="$new" -v base="$base" \
         'BEGIN { exit (new + 0 >= 0.9 * base) ? 0 : 1 }'; then
-        echo "bench.sh: throughput regressed more than 10% from the committed baseline"
+        echo "bench.sh: $name regressed more than 10% from the committed baseline"
         if [ "${BENCH_STRICT:-0}" = "1" ]; then
             echo "bench.sh: BENCH_STRICT=1, failing"
             exit 1
         fi
         echo "bench.sh: (set BENCH_STRICT=1 to make this fatal)"
     fi
-else
-    echo "bench.sh: no committed baseline to compare against"
-fi
+}
+
+new_maccess=$(awk -F'[:,]' '/"machine_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
+new_spp=$(awk -F'[:,]' '/"spp_maccess_per_s"/ { gsub(/ /, "", $2); print $2 }' "$out")
+compare_metric machine_maccess_per_s "$base_maccess" "$new_maccess"
+compare_metric spp_maccess_per_s "$base_spp" "$new_spp"

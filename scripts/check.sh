@@ -48,8 +48,10 @@ fi
 # gated slow runs) are exactly the paths where a data race would hide.
 # The service package includes the sweep fan-out suite (shared frozen
 # streams, in-flight dedupe, mid-sweep replay, stalled NDJSON clients) —
-# the heaviest cross-goroutine surface in the repo.
-echo "== go test -race (service + faults + sim + workload, quick mode)"
-go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/...
+# the heaviest cross-goroutine surface in the repo. internal/prefetch
+# rides along because its schemes run inside pool workers and its
+# registry is read from every normalization path.
+echo "== go test -race (service + faults + sim + workload + prefetch, quick mode)"
+go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/... ./internal/prefetch/...
 
 echo "check.sh: OK"
