@@ -13,7 +13,22 @@
 //	curl -XPOST localhost:8080/v1/sweeps -d '{"workloads":["npb-mg","npb-cg"],"systems":["hopp","fastswap"],"fracs":[0.25,0.5],"quick":true}'
 //	curl localhost:8080/v1/sweeps/r000042                              # parent aggregate
 //	curl 'localhost:8080/v1/sweeps/r000042/results?follow=true'        # NDJSON, one line per point
+//	curl -XPOST localhost:8080/v1/ingests -d '{"system":"hopp","frac":0.5}'
+//	curl -XPUT --data-binary @chunk0.hmtt localhost:8080/v1/ingests/r000043/chunks/0
+//	curl -XPOST localhost:8080/v1/ingests/r000043/close
+//	curl 'localhost:8080/v1/ingests/r000043/metrics?follow=true'       # NDJSON, one line per window
 //	curl localhost:8080/metrics
+//
+// An ingest session streams a live HMTT trace (see cmd/tracegen
+// -hmtt-stream) through the daemon's HPD→prefetcher pipeline: chunks
+// are PUT strictly in order and are idempotent by index, so clients
+// retry after timeouts or 5xx; a full staging ring answers 429 +
+// Retry-After instead of buffering without bound (-ingest-ring-records
+// sizes it); sessions idle past -ingest-idle-timeout expire; and at
+// most -max-ingests sessions are live at once. With -journal, every
+// processed chunk advances a durable high-water mark, so after a
+// restart with -journal-replay the session comes back resumable at its
+// last journaled chunk — the client re-queries, rewinds, and continues.
 //
 // Every submission — a workload × system simulation, an experiment
 // regeneration, or a sweep — is one Job in a single shared lifecycle.
@@ -84,6 +99,12 @@ func run() error {
 		journal    = flag.String("journal", "", "append terminal jobs (results included) to this JSONL file (empty = no journal)")
 		replay     = flag.Bool("journal-replay", false, "replay the -journal file at startup, repopulating the registry and result cache")
 
+		// Ingest-session bounds: live trace streams are long-lived and
+		// hold per-session pipeline state, so they get their own caps.
+		maxIngests = flag.Int("max-ingests", service.DefaultMaxIngests, "max concurrently live trace-ingest sessions (opens beyond get 429)")
+		ingestIdle = flag.Duration("ingest-idle-timeout", service.DefaultIngestIdleTimeout, "expire an ingest session with no client activity for this long")
+		ingestRing = flag.Int("ingest-ring-records", service.DefaultIngestRingRecords, "per-session staging ring capacity in trace records (full ring pauses the session with 429)")
+
 		// Per-client fairness: token buckets in front of the shared
 		// queue, so one flooding client collects 429s instead of
 		// starving everyone else's admissions.
@@ -108,13 +129,16 @@ func run() error {
 	// Replay happens against the file BEFORE opening it for append, so
 	// the reader never races the writer's own buffering.
 	engine := service.NewEngine(service.Options{
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		MaxQueue:       *maxQueue,
-		RetainRuns:     *retainRuns,
-		RetainAge:      *retainAge,
-		RunTimeout:     *runTimeout,
-		MaxSweepPoints: *maxSweep,
+		Workers:           *workers,
+		CacheEntries:      *cache,
+		MaxQueue:          *maxQueue,
+		RetainRuns:        *retainRuns,
+		RetainAge:         *retainAge,
+		RunTimeout:        *runTimeout,
+		MaxSweepPoints:    *maxSweep,
+		MaxIngests:        *maxIngests,
+		IngestIdleTimeout: *ingestIdle,
+		IngestRingRecords: *ingestRing,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "hoppd: "+format+"\n", args...)
 		},

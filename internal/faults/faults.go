@@ -64,6 +64,19 @@ const (
 	// parked until the test opens the gate or the request context ends;
 	// the engine keeps serving everyone else throughout.
 	SiteHTTPStreamStall = "http.stream.stall"
+	// SiteIngestChunkRead fails an ingest chunk-body read mid-chunk with
+	// ErrInjected — the upload that tears partway through a PUT. The
+	// session must stay resumable at its last acked chunk, never
+	// poisoned.
+	SiteIngestChunkRead = "ingest.chunk.read"
+	// SiteIngestRingFull forces the ingest staging ring to report full,
+	// tripping the session's paused state (429 + Retry-After) without
+	// needing a genuinely slow pump.
+	SiteIngestRingFull = "ingest.ring.full"
+	// SiteIngestPumpStall parks an ingest session's pump on the site's
+	// Gate — a deterministic slow consumer. Producers keep staging until
+	// the ring fills and the paused backpressure path engages.
+	SiteIngestPumpStall = "ingest.pump.stall"
 )
 
 // ErrInjected marks an error manufactured by the injector; production

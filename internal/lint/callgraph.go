@@ -117,12 +117,26 @@ func buildCallGraph(pkgs []*Package) *CallGraph {
 // matters — hotalloc flags the closure allocation.
 func collectCalls(g *CallGraph, p *Package, body ast.Node) []CallSite {
 	var calls []CallSite
+	// A direct `go f(x)` gets the same treatment as `go func(){...}()`:
+	// f runs on the spawned goroutine, not this call path, so charging
+	// its facts here would manufacture the same false lock-order edges
+	// the FuncLit exclusion exists to prevent (an engine spawning its
+	// own pump under the registry lock is not a self-deadlock). The
+	// spawn's arguments still evaluate on this path and are collected.
+	spawned := map[*ast.CallExpr]bool{}
 	ast.Inspect(body, func(node ast.Node) bool {
 		if _, ok := node.(*ast.FuncLit); ok {
 			return false
 		}
+		if gs, ok := node.(*ast.GoStmt); ok {
+			spawned[gs.Call] = true
+			return true
+		}
 		call, ok := node.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if spawned[call] {
 			return true
 		}
 		obj := staticCallee(p, call)

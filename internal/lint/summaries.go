@@ -141,6 +141,12 @@ func localFacts(n *FuncNode) funcFacts {
 	p := n.Pkg
 	var f funcFacts
 	own := paramObjects(p, n.Decl)
+	// Comm operations of a select that has a default case never block —
+	// the default makes the whole statement a poll. Collected up front
+	// (the SelectStmt is visited before its clauses) so the SendStmt and
+	// UnaryExpr cases below can tell a bare `ch <- v` from the same
+	// syntax inside `select { case ch <- v: ... default: }`.
+	nonBlockingComm := map[ast.Node]bool{}
 	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.GoStmt:
@@ -149,11 +155,13 @@ func localFacts(n *FuncNode) funcFacts {
 			// the other cases, which is conservative enough.
 			return true
 		case *ast.SendStmt:
-			if _, ok := p.waiver(node.Pos(), "lockok"); !ok {
-				f.blocks = true
+			if !nonBlockingComm[node] {
+				if _, ok := p.waiver(node.Pos(), "lockok"); !ok {
+					f.blocks = true
+				}
 			}
 		case *ast.UnaryExpr:
-			if node.Op.String() == "<-" {
+			if node.Op.String() == "<-" && !nonBlockingComm[node] {
 				if _, ok := p.waiver(node.Pos(), "lockok"); !ok {
 					f.blocks = true
 				}
@@ -162,6 +170,22 @@ func localFacts(n *FuncNode) funcFacts {
 			if !selectHasDefault(node) {
 				if _, ok := p.waiver(node.Pos(), "lockok"); !ok {
 					f.blocks = true
+				}
+			} else {
+				for _, clause := range node.Body.List {
+					cc, ok := clause.(*ast.CommClause)
+					if !ok || cc.Comm == nil {
+						continue
+					}
+					nonBlockingComm[cc.Comm] = true
+					switch comm := cc.Comm.(type) {
+					case *ast.ExprStmt:
+						nonBlockingComm[comm.X] = true
+					case *ast.AssignStmt:
+						for _, rhs := range comm.Rhs {
+							nonBlockingComm[rhs] = true
+						}
+					}
 				}
 			}
 		case *ast.RangeStmt:

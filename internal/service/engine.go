@@ -9,6 +9,7 @@ import (
 	"io"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"hopp/internal/experiments"
@@ -169,6 +170,9 @@ type RunStatus struct {
 	// Sweep is the aggregate fan-out state of a KindSweep job; its
 	// Progress gauge counts settled points.
 	Sweep *SweepStatus `json:"sweep,omitempty"`
+	// Ingest is the session state of a KindIngest job; its Progress
+	// gauge counts decoded records.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 // DefaultRetainRuns is the terminal-job retention bound applied when
@@ -200,6 +204,20 @@ type Options struct {
 	// grids are rejected with ErrSweepTooLarge before touching the
 	// registry. <= 0 means DefaultMaxSweepPoints.
 	MaxSweepPoints int
+	// MaxIngests bounds concurrently live ingest sessions; opens beyond
+	// it are rejected with ErrIngestLimit (HTTP 429). <= 0 means
+	// DefaultMaxIngests.
+	MaxIngests int
+	// IngestIdleTimeout expires an ingest session whose client goes
+	// silent — no chunk, no close — for this long; expired sessions
+	// finish failed and free their slot. <= 0 means
+	// DefaultIngestIdleTimeout.
+	IngestIdleTimeout time.Duration
+	// IngestRingRecords sizes each ingest session's staging ring in
+	// trace records (RecordSize bytes apiece); a chunk that cannot fit
+	// pauses the session instead of growing the buffer. <= 0 means
+	// DefaultIngestRingRecords.
+	IngestRingRecords int
 	// Journal, when non-nil, receives a JSONL entry for every job the
 	// moment it reaches a terminal state — the audit trail past
 	// -retain-runs and the recovery source for ReplayJournal.
@@ -231,6 +249,16 @@ type Engine struct {
 
 	runTimeout     time.Duration
 	maxSweepPoints int
+
+	maxIngests      int
+	ingestIdle      time.Duration
+	ingestRingBytes int
+	// liveIngests holds non-terminal ingest jobs in open order — the
+	// deterministic set Shutdown flags and Metrics gauges. Guarded by
+	// reg.mu. ingestWG tracks their pump goroutines; Shutdown waits on
+	// it after the pool drains, so pumps are reaped leak-free.
+	liveIngests []*Job
+	ingestWG    sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -280,20 +308,35 @@ func NewEngine(opts Options) *Engine {
 	if maxSweep <= 0 {
 		maxSweep = DefaultMaxSweepPoints
 	}
+	maxIngests := opts.MaxIngests
+	if maxIngests <= 0 {
+		maxIngests = DefaultMaxIngests
+	}
+	ingestIdle := opts.IngestIdleTimeout
+	if ingestIdle <= 0 {
+		ingestIdle = DefaultIngestIdleTimeout
+	}
+	ringRecords := opts.IngestRingRecords
+	if ringRecords <= 0 {
+		ringRecords = DefaultIngestRingRecords
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		pool:           NewPoolWithQueue(opts.Workers, opts.MaxQueue),
-		cache:          newLRUCache(opts.CacheEntries),
-		ctr:            newCounters(),
-		reg:            newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal, logf),
-		runTimeout:     opts.RunTimeout,
-		maxSweepPoints: maxSweep,
-		baseCtx:        ctx,
-		baseCancel:     cancel,
-		inflight:       make(map[string]*Job),
-		logf:           logf,
-		faults:         opts.Faults,
-		runSim:         runSimulation,
+		pool:            NewPoolWithQueue(opts.Workers, opts.MaxQueue),
+		cache:           newLRUCache(opts.CacheEntries),
+		ctr:             newCounters(),
+		reg:             newRegistry(opts.RetainRuns, opts.RetainAge, opts.Journal, logf),
+		runTimeout:      opts.RunTimeout,
+		maxSweepPoints:  maxSweep,
+		maxIngests:      maxIngests,
+		ingestIdle:      ingestIdle,
+		ingestRingBytes: ringRecords * hmttRecordSize,
+		baseCtx:         ctx,
+		baseCancel:      cancel,
+		inflight:        make(map[string]*Job),
+		logf:            logf,
+		faults:          opts.Faults,
+		runSim:          runSimulation,
 		runExp: func(ctx context.Context, exp experiments.Experiment, opts experiments.Options) ([]experiments.Table, error) {
 			return exp.Run(ctx, opts)
 		},
@@ -449,6 +492,9 @@ func (e *Engine) finishOneLocked(j *Job, now time.Time) {
 	if j.key != "" && e.inflight[j.key] == j {
 		delete(e.inflight, j.key)
 		e.settleFollowersLocked(j, now)
+	}
+	if j.ingest != nil {
+		e.removeLiveIngestLocked(j)
 	}
 	if j.parent != nil {
 		e.sweepChildDoneLocked(j.parent, j, now)
@@ -634,6 +680,13 @@ func (e *Engine) statusLocked(j *Job) RunStatus {
 		s.Seed = j.Exp.Seed
 		s.Quick = j.Exp.Quick
 		s.Progress = j.progress.Load()
+	case j.ingest != nil:
+		s.Workload = j.ingest.req.Workload
+		s.System = j.ingest.req.System
+		s.Frac = j.ingest.req.Frac
+		s.Seed = j.ingest.req.Seed
+		s.Progress = j.progress.Load()
+		s.Ingest = j.ingest.statusSnapshot()
 	case j.sweep != nil:
 		s.Quick = j.sweep.req.Quick
 		s.Progress = j.progress.Load()
@@ -839,9 +892,11 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	s.JournalWrites = e.reg.jwrites.Load()
 	s.JournalWriteErrors = e.reg.jerrors.Load()
 	s.JournalLastWriteFailed = e.reg.jdegraded.Load()
+	s.MaxIngests = e.maxIngests
 	e.reg.mu.Lock()
 	s.RegistrySize = e.reg.sizeLocked()
 	s.JournalReplayed = e.replayed
+	s.IngestSessionsActive = len(e.liveIngests)
 	e.reg.mu.Unlock()
 	return s
 }
@@ -890,11 +945,21 @@ func (e *Engine) Health() Health {
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.reg.mu.Lock()
 	e.closed = true
+	liveIngests := append([]*Job(nil), e.liveIngests...)
 	e.reg.mu.Unlock()
+
+	// Flag live ingest sessions for drain: each pump finishes its staged
+	// backlog, then fails the session with ErrIngestInterrupted — the
+	// typed signal that the stream was cut short by shutdown, not by the
+	// client.
+	for _, j := range liveIngests {
+		j.ingest.interruptShutdown()
+	}
 
 	drained := make(chan struct{})
 	go func() {
 		e.pool.Close()
+		e.ingestWG.Wait()
 		close(drained)
 	}()
 	select {

@@ -53,6 +53,19 @@ type HandlerConfig struct {
 //	                                  order; ?follow=true streams every point
 //	                                  as it lands
 //	DELETE /v1/sweeps/{id}            cancel the whole fan-out
+//	POST   /v1/ingests                open a live HMTT trace-ingest session
+//	                                  (429 + Retry-After at -max-ingests)
+//	GET    /v1/ingests/{id}           session status: phase, chunk high-water
+//	                                  marks, windows, ring occupancy
+//	PUT    /v1/ingests/{id}/chunks/{n}  stream one trace chunk; idempotent by
+//	                                  index so clients retry after 5xx or
+//	                                  timeouts (429 + Retry-After when the
+//	                                  staging ring is full)
+//	POST   /v1/ingests/{id}/close     end the stream; the session drains and
+//	                                  finishes done
+//	GET    /v1/ingests/{id}/metrics   NDJSON of finished metrics windows;
+//	                                  ?follow=true streams each as it seals
+//	DELETE /v1/ingests/{id}           cancel the session
 //	GET    /healthz                   liveness; "ok" or "degraded" (both 200)
 //	GET    /metrics                   per-kind jobs_* counters + gauges
 //
@@ -293,6 +306,130 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("POST /v1/ingests", func(w http.ResponseWriter, r *http.Request) {
+		if !admit(w, r, e, limiter) {
+			return
+		}
+		var req IngestRequest
+		if err := json.NewDecoder(requestBody(r, cfg.Faults)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		status, err := e.OpenIngest(req)
+		writeSubmitResult(w, e, status, err)
+	})
+
+	mux.HandleFunc("GET /v1/ingests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := e.IngestStatusByID(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	// The chunk upload: strictly in-order by index, idempotent below the
+	// acked high-water mark, so a client that lost a response to a
+	// timeout or 5xx simply re-PUTs the same index and gets the same
+	// 200. A full staging ring answers 429 + Retry-After with the
+	// session paused; the client backs off and retries the identical
+	// request.
+	mux.HandleFunc("PUT /v1/ingests/{id}/chunks/{n}", func(w http.ResponseWriter, r *http.Request) {
+		n, err := strconv.Atoi(r.PathValue("n"))
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad chunk index %q", r.PathValue("n")))
+			return
+		}
+		status, err := e.IngestChunk(r.PathValue("id"), n, requestBody(r, cfg.Faults))
+		if err != nil {
+			if errors.Is(err, ErrIngestPaused) {
+				// The pump needs time, not a different request: a short
+				// fixed hint, since ring drain is a pump cycle away, not a
+				// queue drain away.
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	mux.HandleFunc("POST /v1/ingests/{id}/close", func(w http.ResponseWriter, r *http.Request) {
+		status, err := e.CloseIngest(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	// The windowed-metrics stream: one NDJSON line per sealed window, in
+	// index order. The default form snapshots the windows sealed so far;
+	// ?follow=true waits for each next window (flushing per line) until
+	// the session goes terminal or the client leaves. Same stall/write
+	// fault sites as the sweep results stream, same isolation: a stalled
+	// consumer parks only this handler goroutine.
+	mux.HandleFunc("GET /v1/ingests/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		follow := false
+		if f := r.URL.Query().Get("follow"); f != "" {
+			v, err := strconv.ParseBool(f)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad follow %q", f))
+				return
+			}
+			follow = v
+		}
+		id := r.PathValue("id")
+		if _, err := e.IngestStatusByID(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i := 0; ; i++ {
+			win, have, ended, err := e.IngestWindowAt(r.Context(), id, i, follow)
+			if err != nil || ended || (!have && !follow) {
+				return
+			}
+			if cfg.Faults.Hit(faults.SiteHTTPStreamStall) {
+				if gerr := cfg.Faults.Gate(faults.SiteHTTPStreamStall).Wait(r.Context()); gerr != nil {
+					return
+				}
+			}
+			if cfg.Faults.ErrAt(faults.SiteHTTPResultsWrite) != nil {
+				return // injected mid-stream write failure: stream ends torn
+			}
+			if err := enc.Encode(&win); err != nil {
+				return
+			}
+			if follow && flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/ingests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Resolve through IngestStatusByID first so non-ingest IDs 404
+		// here instead of cancelling arbitrary jobs through this surface.
+		if _, err := e.IngestStatusByID(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		if err := e.Cancel(id); err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		status, err := e.IngestStatusByID(id)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		// Resolve through SweepStatus first so non-sweep IDs 404 here
@@ -396,11 +533,11 @@ func experimentRequest(w http.ResponseWriter, r *http.Request) (ExperimentReques
 // status otherwise.
 func writeSubmitResult(w http.ResponseWriter, e *Engine, status RunStatus, err error) {
 	if err != nil {
-		if errors.Is(err, ErrOverloaded) {
-			// The queue is at its bound; tell well-behaved clients when
-			// to come back instead of letting them hot-loop. The hint
-			// tracks observed drain time, so backoff grows with the
-			// actual backlog.
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrIngestLimit) {
+			// The queue (or ingest-session table) is at its bound; tell
+			// well-behaved clients when to come back instead of letting
+			// them hot-loop. The hint tracks observed drain time, so
+			// backoff grows with the actual backlog.
 			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds()))
 		}
 		writeError(w, errStatus(err), err)
@@ -416,14 +553,18 @@ func writeSubmitResult(w http.ResponseWriter, e *Engine, status RunStatus, err e
 // errStatus maps engine errors to HTTP status codes.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrNotSweep):
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrNotSweep),
+		errors.Is(err, ErrNotIngest):
 		return http.StatusNotFound
 	case errors.Is(err, ErrUnknownWorkload), errors.Is(err, ErrUnknownSystem), errors.Is(err, ErrBadFrac),
-		errors.Is(err, ErrBadSweep), errors.Is(err, ErrSweepTooLarge):
+		errors.Is(err, ErrBadSweep), errors.Is(err, ErrSweepTooLarge), errors.Is(err, ErrChunkRead):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrNotCancellable):
+	case errors.Is(err, ErrNotCancellable), errors.Is(err, ErrChunkOutOfOrder), errors.Is(err, ErrIngestClosed):
 		return http.StatusConflict
-	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClientLimited):
+	case errors.Is(err, ErrChunkTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClientLimited), errors.Is(err, ErrIngestPaused),
+		errors.Is(err, ErrIngestLimit):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable

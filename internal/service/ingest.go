@@ -1,0 +1,1058 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"hopp/internal/core"
+	"hopp/internal/faults"
+	"hopp/internal/hmtt"
+	"hopp/internal/hpd"
+	"hopp/internal/memsim"
+	"hopp/internal/prefetch"
+	"hopp/internal/vclock"
+)
+
+// Ingest errors. ErrIngestInterrupted wraps ErrDrainIncomplete: a
+// session failed by an engine drain is the streaming analogue of a
+// forced shutdown, and callers that already branch on
+// ErrDrainIncomplete semantics see it through errors.Is.
+var (
+	ErrIngestInterrupted = fmt.Errorf("service: ingest interrupted by shutdown: %w", ErrDrainIncomplete)
+	// ErrNotIngest rejects ingest-surface operations on IDs that name
+	// jobs of other kinds (HTTP 404, like ErrNotSweep).
+	ErrNotIngest = errors.New("service: not an ingest session")
+	// ErrIngestLimit sheds an open when -max-ingests sessions are
+	// already live (HTTP 429 + Retry-After).
+	ErrIngestLimit = errors.New("service: too many active ingest sessions")
+	// ErrIngestPaused rejects a chunk because the staging ring cannot
+	// hold it: the pump is behind the producer. The session flips to the
+	// paused phase and the client backs off (HTTP 429 + Retry-After) —
+	// bounded memory instead of unbounded buffering.
+	ErrIngestPaused = errors.New("service: ingest staging ring full, retry later")
+	// ErrChunkOutOfOrder rejects a chunk whose index is ahead of the
+	// session's acked high-water mark (HTTP 409): chunks are accepted
+	// strictly in order so the byte stream — and the 6-byte records torn
+	// across its chunk boundaries — reassembles exactly.
+	ErrChunkOutOfOrder = errors.New("service: chunk index ahead of acked high-water mark")
+	// ErrChunkTooLarge rejects a chunk bigger than the per-chunk bound
+	// or the whole staging ring (HTTP 413).
+	ErrChunkTooLarge = errors.New("service: chunk exceeds size limit")
+	// ErrChunkRead marks a chunk body that tore mid-read. Nothing of the
+	// chunk is staged: the session stays exactly where it was, resumable
+	// at the same index (HTTP 400 — the client retries the chunk).
+	ErrChunkRead = errors.New("service: chunk body read failed")
+	// ErrIngestClosed rejects chunks for a session already draining or
+	// terminal (HTTP 409).
+	ErrIngestClosed = errors.New("service: ingest session closed")
+	// ErrIngestExpired is the failure cause of a session whose client
+	// went silent past -ingest-idle-timeout. Abandoned uploads expire;
+	// they never pin a session slot.
+	ErrIngestExpired = errors.New("service: ingest session expired: idle timeout")
+)
+
+// Ingest configuration defaults.
+const (
+	// DefaultMaxIngests bounds concurrently live ingest sessions.
+	DefaultMaxIngests = 8
+	// DefaultIngestIdleTimeout expires a session with no client activity.
+	DefaultIngestIdleTimeout = 2 * time.Minute
+	// DefaultIngestRingRecords sizes the staging ring between the HTTP
+	// layer and the pump, in trace records.
+	DefaultIngestRingRecords = 65536
+	// DefaultIngestWindowRecords is the metrics window length when the
+	// open request leaves WindowRecords unset.
+	DefaultIngestWindowRecords = 4096
+	// ingestMaxChunkBytes bounds one uploaded chunk (HTTP 413 beyond).
+	ingestMaxChunkBytes = 4 << 20
+	// hmttRecordSize re-exports the trace record width so engine.go can
+	// size rings without importing hmtt itself.
+	hmttRecordSize = hmtt.RecordSize
+	// ingestPID is the process ID ingested trace pages are attributed
+	// to: HMTT snoops physical addresses below the OS, so the stream is
+	// one flat address space, exactly like cmd/traceanalyze's offline
+	// model.
+	ingestPID memsim.PID = 1
+)
+
+// IngestPhase is an ingest session's position in its own lifecycle,
+// finer-grained than JobState: a running job is streaming, paused
+// (staging ring full, producer backing off), or draining (close
+// requested, pump finishing the backlog).
+type IngestPhase string
+
+// The ingest phases: open → streaming ⇄ paused → draining →
+// done/expired/failed/cancelled.
+const (
+	IngestStreaming IngestPhase = "streaming"
+	IngestPaused    IngestPhase = "paused"
+	IngestDraining  IngestPhase = "draining"
+	IngestDone      IngestPhase = "done"
+	IngestExpired   IngestPhase = "expired"
+	IngestFailed    IngestPhase = "failed"
+	IngestCancelled IngestPhase = "cancelled"
+)
+
+// Terminal reports whether the phase is final.
+func (p IngestPhase) Terminal() bool {
+	return p == IngestDone || p == IngestExpired || p == IngestFailed || p == IngestCancelled
+}
+
+// IngestRequest opens one ingest session — the payload of POST
+// /v1/ingests. The client then streams HMTT-encoded chunks at the
+// session and reads windowed metrics as records flow through the live
+// HPD→prefetcher pipeline.
+type IngestRequest struct {
+	// Workload is a free-form label for the trace source (there is no
+	// catalog to validate a real application against). Empty means
+	// "trace".
+	Workload string `json:"workload,omitempty"`
+	// System names the system under test, validated against the same
+	// catalog as sim runs: a HoPP variant drives the prediction
+	// algorithm from the HPD hot-page stream; a prefetch-registry spec
+	// drives its demand-path prefetcher from the read stream. Empty
+	// means "hopp".
+	System string `json:"system,omitempty"`
+	// Frac is local memory as a fraction of the footprint in [0, 1); it
+	// sizes the prefetch working set the pipeline tracks. Nil defaults
+	// to 0.5.
+	Frac *float64 `json:"frac,omitempty"`
+	// Seed labels the trace's generation seed (informational; the
+	// pipeline itself is deterministic in the record stream).
+	Seed int64 `json:"seed,omitempty"`
+	// WindowRecords is the metrics window length in records; 0 means
+	// DefaultIngestWindowRecords, out-of-range values clamp to
+	// [16, 1<<20].
+	WindowRecords int `json:"window_records,omitempty"`
+}
+
+// Normalize validates the request against the system catalog and
+// resolves defaults. Ingest jobs have no cache key: a live stream is
+// not a replayable computation, so nothing here is cacheable.
+func (r IngestRequest) Normalize() (IngestRequest, error) {
+	n := r
+	n.Workload = strings.TrimSpace(n.Workload)
+	if n.Workload == "" {
+		n.Workload = "trace"
+	}
+	n.System = strings.ToLower(strings.TrimSpace(n.System))
+	if n.System == "" {
+		n.System = "hopp"
+	}
+	canon, ok := canonicalSystem(n.System)
+	if !ok {
+		return n, fmt.Errorf("%w %q", ErrUnknownSystem, r.System)
+	}
+	n.System = canon
+	if n.Frac == nil {
+		f := 0.5
+		n.Frac = &f
+	}
+	if *n.Frac < 0 || *n.Frac >= 1 {
+		return n, fmt.Errorf("%w (got %g)", ErrBadFrac, *n.Frac)
+	}
+	switch {
+	case n.WindowRecords <= 0:
+		n.WindowRecords = DefaultIngestWindowRecords
+	case n.WindowRecords < 16:
+		n.WindowRecords = 16
+	case n.WindowRecords > 1<<20:
+		n.WindowRecords = 1 << 20
+	}
+	return n, nil
+}
+
+// IngestWindow is one finished metrics window: what the trace did to
+// the pipeline over WindowRecords consecutive records. Loss is the
+// HMTT capture-buffer signal — sequence gaps in the uploaded stream —
+// surfaced per window so a consumer sees when the producer's capture
+// ring overflowed. Serialized windows are deterministic in the record
+// stream, which is what makes restart replay byte-identical.
+type IngestWindow struct {
+	Index        int    `json:"index"`
+	Records      uint64 `json:"records"`
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	LossRecords  uint64 `json:"loss_records"`
+	HotPages     uint64 `json:"hot_pages"`
+	Prefetches   uint64 `json:"prefetches"`
+	PrefetchHits uint64 `json:"prefetch_hits"`
+	// StartNS/EndNS are the window's bounds on the trace's own virtual
+	// clock (TimestampDelta ticks × hmtt.TickNS).
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+}
+
+// IngestStatus is the ingest-specific block of a session's RunStatus.
+type IngestStatus struct {
+	Phase IngestPhase `json:"phase"`
+	// WindowRecords echoes the normalized window length.
+	WindowRecords int `json:"window_records"`
+	// ChunksAcked is the next chunk index the session will accept:
+	// everything below it has been staged and acknowledged. Acks are
+	// advisory until the chunk clears the pump; ChunksDurable is the
+	// journaled high-water mark a restarted daemon resumes from — after
+	// a crash the client rewinds to it and re-PUTs (idempotent by
+	// index).
+	ChunksAcked   int    `json:"chunks_acked"`
+	ChunksDurable int    `json:"chunks_durable"`
+	ChunksRetried uint64 `json:"chunks_retried,omitempty"`
+	// Cumulative pipeline totals across all finished and in-progress
+	// windows.
+	Records      uint64 `json:"records"`
+	LossRecords  uint64 `json:"loss_records"`
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	HotPages     uint64 `json:"hot_pages"`
+	Prefetches   uint64 `json:"prefetches"`
+	PrefetchHits uint64 `json:"prefetch_hits"`
+	// Windows counts finished metrics windows (the NDJSON stream's
+	// current length).
+	Windows int `json:"windows"`
+	// RingBytes/RingCapacity gauge the staging ring; a producer pausing
+	// on 429 can watch occupancy fall.
+	RingBytes    int `json:"ring_bytes"`
+	RingCapacity int `json:"ring_capacity"`
+	// PartialTail is how many bytes of a record torn across the last
+	// chunk boundary are buffered, waiting for the rest of the stream.
+	PartialTail int `json:"partial_tail_bytes,omitempty"`
+	// Resumed marks a session restored from the journal after a daemon
+	// restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// IngestJournal is the resumable snapshot an ingest journal entry
+// carries: cumulative totals, the exact streaming-decoder state
+// (partial record bytes and sequence accounting), the windows finished
+// since the previous entry, and the in-progress window. Replay merges
+// a session's entries by ID; the cumulative fields make the merge
+// idempotent under duplicated or re-read lines.
+type IngestJournal struct {
+	Phase         IngestPhase `json:"phase"`
+	WindowRecords int         `json:"window_records,omitempty"`
+	ChunksAcked   int         `json:"chunks_acked"`
+	ChunksRetried uint64      `json:"chunks_retried,omitempty"`
+	Records       uint64      `json:"records,omitempty"`
+	LossRecords   uint64      `json:"loss_records,omitempty"`
+	Reads         uint64      `json:"reads,omitempty"`
+	Writes        uint64      `json:"writes,omitempty"`
+	HotPages      uint64      `json:"hot_pages,omitempty"`
+	Prefetches    uint64      `json:"prefetches,omitempty"`
+	PrefetchHits  uint64      `json:"prefetch_hits,omitempty"`
+	ClockTicks    uint64      `json:"clock_ticks,omitempty"`
+	// Decoder is the streaming decoder's snapshot: record framing and
+	// sequence-gap accounting survive a restart byte-exactly.
+	Decoder *hmtt.DecoderState `json:"decoder,omitempty"`
+	// Windows are the windows finished since the previous entry;
+	// WindowsBefore is the index of the first of them (the merge guard).
+	WindowsBefore int            `json:"windows_before,omitempty"`
+	Windows       []IngestWindow `json:"windows,omitempty"`
+	// Partial is the in-progress window at append time.
+	Partial *IngestWindow `json:"partial,omitempty"`
+	Resumed bool          `json:"resumed,omitempty"`
+}
+
+// ingestChunk is one staged upload: the raw bytes of chunk n, waiting
+// in the ring for the pump.
+type ingestChunk struct {
+	n    int
+	data []byte
+}
+
+// ingestSession is the live state of one KindIngest job. reg.mu guards
+// the owning Job; s.mu guards everything here. Lock order is
+// reg.mu → s.mu, taken nowhere in reverse — the pump drops s.mu before
+// touching the registry.
+type ingestSession struct {
+	mu sync.Mutex
+
+	req IngestRequest // normalized
+
+	phase IngestPhase
+
+	// Staging ring: whole uploaded chunks queued for the pump, bounded
+	// by capBytes. A chunk that does not fit is rejected (the paused
+	// backpressure path) instead of growing the queue.
+	staged      []ingestChunk
+	stagedBytes int
+	capBytes    int
+
+	accepted  int // next chunk index a PUT may carry (acked HWM)
+	processed int // chunks pumped and journaled (durable HWM)
+	retried   uint64
+
+	// The pipeline: streaming decoder → HPD hot-page table → prediction
+	// algorithm (HoPP variants) or demand-path prefetcher (registry
+	// schemes) → bounded predicted-page set scoring hits.
+	dec       hmtt.Decoder
+	clock     uint64 // trace ticks (sum of TimestampDelta)
+	hot       *hpd.Table
+	algo      core.Algorithm
+	demand    prefetch.Prefetcher
+	predicted *predictedSet
+
+	reads, writes, hotPages, prefetches, prefetchHits uint64
+
+	cur        IngestWindow
+	windows    []IngestWindow
+	journaledW int // windows already written to journal entries
+
+	// windowSig is closed (and, while non-terminal, recreated) whenever
+	// a window finishes or the session goes terminal — the follow-mode
+	// wakeup for the metrics stream.
+	windowSig chan struct{}
+	// wake nudges the pump (buffered; producers send non-blocking).
+	wake chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	idle   *time.Timer
+	idleD  time.Duration
+
+	closing   bool // client requested close: drain then done
+	shut      bool // engine drain: finish the backlog, then fail interrupted
+	cancelled bool
+	expired   bool
+	resumed   bool
+}
+
+// newIngestSession builds the session skeleton: request, ring bound,
+// pipeline, channels. The caller wires ctx/idle and starts the pump.
+func newIngestSession(req IngestRequest, ringBytes int) *ingestSession {
+	s := &ingestSession{
+		req:       req,
+		phase:     IngestStreaming,
+		capBytes:  ringBytes,
+		windowSig: make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+	}
+	s.buildPipeline()
+	return s
+}
+
+// buildPipeline constructs the per-session simulation stack. The system
+// name was validated at Normalize, so construction cannot fail on live
+// opens; replay revalidates before calling.
+func (s *ingestSession) buildPipeline() {
+	sys, _ := NewSystem(s.req.System)
+	s.hot = hpd.MustNew(hpd.Default())
+	switch {
+	case sys.HoPP:
+		// Mirror core.NewPrefetcher's algorithm selection without the
+		// executor: ingest scores predictions against the live stream
+		// instead of simulating page movement.
+		switch sys.HoPPParams.Algorithm {
+		case core.AlgoMarkov:
+			s.algo = core.NewMarkov(sys.HoPPParams)
+		default:
+			s.algo = core.NewTrainer(sys.HoPPParams)
+		}
+	case sys.NewFault != nil:
+		s.demand = sys.NewFault(nil)
+	}
+	// The predicted set models the remote pages a prefetcher would have
+	// resident locally: smaller local fractions leave more room for
+	// prefetched pages, mirroring the sim's working-set pressure.
+	capPages := int((1 - *s.req.Frac) * 8192)
+	if capPages < 256 {
+		capPages = 256
+	}
+	s.predicted = newPredictedSet(capPages, func(vpn memsim.VPN) {
+		if s.demand != nil {
+			now := vclock.Time(s.clock * hmtt.TickNS)
+			s.demand.OnPrefetchEvicted(now, memsim.PageKey{PID: ingestPID, VPN: vpn}, false)
+		}
+	})
+}
+
+// wakeLocked nudges the pump without blocking; s.mu must be held.
+func (s *ingestSession) wakeLocked() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// signalWindowsLocked wakes metrics-stream followers; s.mu must be
+// held. While the session is live the channel is recreated so later
+// waiters park on a fresh one; at terminal it stays closed forever.
+func (s *ingestSession) signalWindowsLocked(terminal bool) {
+	close(s.windowSig)
+	if !terminal {
+		s.windowSig = make(chan struct{})
+	}
+}
+
+// touchLocked restarts the inactivity deadline; s.mu must be held.
+func (s *ingestSession) touchLocked() {
+	if s.idle != nil {
+		s.idle.Reset(s.idleD)
+	}
+}
+
+// interrupt flags the session for the given terminal cause and wakes
+// the pump — the single finisher. cancelCtx releases a pump parked on
+// a stall gate or an idle select.
+func (s *ingestSession) interrupt(mark func(*ingestSession)) {
+	s.mu.Lock()
+	if s.phase.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	mark(s)
+	s.wakeLocked()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// interruptShutdown flags the session for engine drain: the pump
+// finishes the staged backlog, then fails the session with
+// ErrIngestInterrupted. The session context is left alone here — the
+// drain-deadline path cancels the engine's base context, which aborts
+// backlogs still in flight.
+func (s *ingestSession) interruptShutdown() {
+	s.mu.Lock()
+	if !s.phase.Terminal() {
+		s.shut = true
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
+}
+
+// consume runs one decoded record through the pipeline; s.mu must be
+// held (the pump holds it across a chunk). This is the ingest mirror of
+// cmd/traceanalyze's offline loop: the trace's own timestamps drive the
+// virtual clock, WRITEs are filtered from the HPD per §III-B, and
+// sequence-gap loss is charged to the window where it happened.
+func (s *ingestSession) consume(rec hmtt.Record, lostBefore int) {
+	s.clock += uint64(rec.TimestampDelta)
+	now := vclock.Time(s.clock * hmtt.TickNS)
+	s.cur.LossRecords += uint64(lostBefore)
+	s.cur.Records++
+	if rec.Write {
+		s.writes++
+		s.cur.Writes++
+	} else {
+		s.reads++
+		s.cur.Reads++
+		vpn := memsim.VPN(rec.Page)
+		key := memsim.PageKey{PID: ingestPID, VPN: vpn}
+		if s.predicted.hit(vpn) {
+			s.prefetchHits++
+			s.cur.PrefetchHits++
+			if s.demand != nil {
+				s.demand.OnPrefetchHit(now, key)
+			}
+		} else if s.demand != nil {
+			for _, p := range s.demand.OnFault(now, key) {
+				if s.predicted.add(p) {
+					s.prefetches++
+					s.cur.Prefetches++
+				}
+			}
+		}
+		if s.hot.Access(rec.Page) {
+			s.hotPages++
+			s.cur.HotPages++
+			if s.algo != nil {
+				if pred, ok := s.algo.Observe(now, ingestPID, vpn); ok {
+					// pred.Pages may alias the algorithm's scratch buffer;
+					// predictedSet.add copies by value.
+					for _, p := range pred.Pages {
+						if s.predicted.add(p) {
+							s.prefetches++
+							s.cur.Prefetches++
+						}
+					}
+				}
+			}
+		}
+	}
+	if int(s.cur.Records) >= s.req.WindowRecords {
+		s.finishWindowLocked(false)
+	}
+}
+
+// finishWindowLocked seals the in-progress window and opens the next;
+// s.mu must be held. The final partial window (at close) seals whatever
+// it holds.
+func (s *ingestSession) finishWindowLocked(terminal bool) {
+	if s.cur.Records == 0 && !terminal {
+		return
+	}
+	if s.cur.Records > 0 {
+		s.cur.EndNS = int64(s.clock) * hmtt.TickNS
+		s.windows = append(s.windows, s.cur)
+		s.cur = IngestWindow{Index: s.cur.Index + 1, StartNS: s.cur.EndNS}
+	}
+	s.signalWindowsLocked(terminal)
+}
+
+// journalSnapshot builds the session's journal payload: cumulative
+// totals, decoder state, and the windows finished since the last entry
+// (which it marks journaled). The caller holds reg.mu; s.mu is taken
+// here, respecting the reg.mu → s.mu order.
+func (s *ingestSession) journalSnapshot() *IngestJournal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalSnapshotLocked()
+}
+
+// journalSnapshotLocked is journalSnapshot with s.mu already held.
+func (s *ingestSession) journalSnapshotLocked() *IngestJournal {
+	dec := s.dec.State()
+	ij := &IngestJournal{
+		Phase:         s.phase,
+		WindowRecords: s.req.WindowRecords,
+		ChunksAcked:   s.processed,
+		ChunksRetried: s.retried,
+		Records:       s.dec.Records(),
+		LossRecords:   s.dec.Lost(),
+		Reads:         s.reads,
+		Writes:        s.writes,
+		HotPages:      s.hotPages,
+		Prefetches:    s.prefetches,
+		PrefetchHits:  s.prefetchHits,
+		ClockTicks:    s.clock,
+		Decoder:       &dec,
+		WindowsBefore: s.journaledW,
+		Resumed:       s.resumed,
+	}
+	if s.journaledW < len(s.windows) {
+		ij.Windows = append([]IngestWindow(nil), s.windows[s.journaledW:]...)
+		s.journaledW = len(s.windows)
+	}
+	if s.cur.Records > 0 {
+		cp := s.cur
+		ij.Partial = &cp
+	}
+	return ij
+}
+
+// statusSnapshot renders the externally visible ingest block.
+func (s *ingestSession) statusSnapshot() *IngestStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &IngestStatus{
+		Phase:         s.phase,
+		WindowRecords: s.req.WindowRecords,
+		ChunksAcked:   s.accepted,
+		ChunksDurable: s.processed,
+		ChunksRetried: s.retried,
+		Records:       s.dec.Records(),
+		LossRecords:   s.dec.Lost(),
+		Reads:         s.reads,
+		Writes:        s.writes,
+		HotPages:      s.hotPages,
+		Prefetches:    s.prefetches,
+		PrefetchHits:  s.prefetchHits,
+		Windows:       len(s.windows),
+		RingBytes:     s.stagedBytes,
+		RingCapacity:  s.capBytes,
+		PartialTail:   s.dec.Buffered(),
+		Resumed:       s.resumed,
+	}
+}
+
+// predictedSet is the bounded FIFO set of pages the system under test
+// has predicted: a later read of a member scores a prefetch hit, and
+// FIFO eviction of a never-read member is the unused-eviction feedback
+// signal.
+type predictedSet struct {
+	capacity int
+	fifo     []memsim.VPN
+	member   map[memsim.VPN]struct{}
+	onEvict  func(memsim.VPN)
+}
+
+func newPredictedSet(capacity int, onEvict func(memsim.VPN)) *predictedSet {
+	return &predictedSet{
+		capacity: capacity,
+		member:   make(map[memsim.VPN]struct{}, capacity),
+		onEvict:  onEvict,
+	}
+}
+
+// add inserts vpn, evicting the oldest member when full; reports
+// whether vpn was newly inserted.
+func (ps *predictedSet) add(vpn memsim.VPN) bool {
+	if _, ok := ps.member[vpn]; ok {
+		return false
+	}
+	for len(ps.member) >= ps.capacity && len(ps.fifo) > 0 {
+		old := ps.fifo[0]
+		ps.fifo = ps.fifo[1:]
+		if _, live := ps.member[old]; live {
+			delete(ps.member, old)
+			ps.onEvict(old)
+		}
+	}
+	ps.member[vpn] = struct{}{}
+	ps.fifo = append(ps.fifo, vpn)
+	return true
+}
+
+// hit consumes a membership: the page was read while predicted. The
+// FIFO slot becomes a tombstone skipped at eviction time.
+func (ps *predictedSet) hit(vpn memsim.VPN) bool {
+	if _, ok := ps.member[vpn]; !ok {
+		return false
+	}
+	delete(ps.member, vpn)
+	return true
+}
+
+// OpenIngest admits a new ingest session: a KindIngest job born
+// running, its pump goroutine started, its open entry journaled.
+func (e *Engine) OpenIngest(req IngestRequest) (RunStatus, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return RunStatus{}, err
+	}
+	s := newIngestSession(norm, e.ingestRingBytes)
+	now := time.Now()
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	if e.closed {
+		return RunStatus{}, ErrClosed
+	}
+	if len(e.liveIngests) >= e.maxIngests {
+		return RunStatus{}, fmt.Errorf("%w (%d live, bound %d)", ErrIngestLimit, len(e.liveIngests), e.maxIngests)
+	}
+	j := &Job{
+		Kind:      KindIngest,
+		State:     StateRunning,
+		ingest:    s,
+		submitted: now,
+		started:   now,
+		done:      make(chan struct{}),
+	}
+	e.reg.addLocked(j)
+	e.liveIngests = append(e.liveIngests, j)
+	e.ctr.kind(KindIngest).submitted.Add(1)
+	e.ctr.kind(KindIngest).started.Add(1)
+	e.startIngestLocked(j, s)
+	e.reg.appendEntryLocked(e.ingestEntryLocked(j, StateRunning, ""))
+	return e.statusLocked(j), nil
+}
+
+// startIngestLocked wires a session's runtime — context, cancel hook,
+// idle deadline — and launches its pump; reg.mu must be held.
+func (e *Engine) startIngestLocked(j *Job, s *ingestSession) {
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	s.mu.Lock()
+	s.ctx = ctx
+	s.cancel = cancel
+	s.idleD = e.ingestIdle
+	s.idle = time.AfterFunc(s.idleD, func() {
+		s.interrupt(func(s *ingestSession) { s.expired = true })
+	})
+	s.mu.Unlock()
+	j.cancel = func() {
+		s.interrupt(func(s *ingestSession) { s.cancelled = true })
+	}
+	e.ingestWG.Add(1)
+	go e.ingestPump(j, s)
+}
+
+// ingestEntryLocked builds a non-terminal journal entry for an ingest
+// session (open, per-chunk HWM); reg.mu must be held. Terminal entries
+// flow through journalEntry at markTerminalLocked like every kind.
+func (e *Engine) ingestEntryLocked(j *Job, state JobState, errMsg string) JournalEntry {
+	s := j.ingest
+	return JournalEntry{
+		ID:              j.ID,
+		Kind:            KindIngest,
+		State:           state,
+		Workload:        s.req.Workload,
+		System:          s.req.System,
+		Frac:            s.req.Frac,
+		Seed:            s.req.Seed,
+		Error:           errMsg,
+		Progress:        j.progress.Load(),
+		SubmittedUnixNS: j.submitted.UnixNano(),
+		Ingest:          s.journalSnapshot(),
+	}
+}
+
+// ingestJobLocked resolves an ID to its ingest job; reg.mu must be
+// held.
+func (e *Engine) ingestJobLocked(id string) (*Job, *ingestSession, error) {
+	j, ok := e.reg.getLocked(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	if j.Kind != KindIngest || j.ingest == nil {
+		return nil, nil, fmt.Errorf("%w: %s is a %s job", ErrNotIngest, id, j.Kind)
+	}
+	return j, j.ingest, nil
+}
+
+// IngestStatusByID returns one ingest session's snapshot; IDs naming
+// jobs of other kinds answer ErrNotIngest (HTTP 404).
+func (e *Engine) IngestStatusByID(id string) (RunStatus, error) {
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	j, _, err := e.ingestJobLocked(id)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	return e.statusLocked(j), nil
+}
+
+// IngestChunk stages chunk n of a session. Chunks are idempotent by
+// index: n below the acked high-water mark re-acks without
+// reprocessing (the client's retry after a torn response), n above it
+// is rejected out-of-order, and exactly n == acked stages. The whole
+// body is read before any session state changes, so a read that tears
+// mid-chunk leaves the session byte-exactly where it was.
+func (e *Engine) IngestChunk(id string, n int, body io.Reader) (RunStatus, error) {
+	if n < 0 {
+		return RunStatus{}, fmt.Errorf("%w: negative index %d", ErrChunkOutOfOrder, n)
+	}
+	var r io.Reader = io.LimitReader(body, ingestMaxChunkBytes+1)
+	if e.faults != nil {
+		r = &siteReader{r: r, inj: e.faults, site: faults.SiteIngestChunkRead}
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return RunStatus{}, fmt.Errorf("%w: %w", ErrChunkRead, err)
+	}
+	if len(data) > ingestMaxChunkBytes {
+		return RunStatus{}, fmt.Errorf("%w: chunk over %d bytes", ErrChunkTooLarge, ingestMaxChunkBytes)
+	}
+
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	j, s, err := e.ingestJobLocked(id)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	s.mu.Lock()
+	switch {
+	case s.phase.Terminal(), s.closing, s.shut:
+		s.mu.Unlock()
+		return e.statusLocked(j), fmt.Errorf("%w: session %s is %s", ErrIngestClosed, id, s.phase)
+	case n < s.accepted:
+		// Duplicate: the client retried a chunk whose ack it never saw.
+		s.retried++
+		e.ctr.ingestChunksRetried.Add(1)
+		s.touchLocked()
+		s.mu.Unlock()
+		return e.statusLocked(j), nil
+	case n > s.accepted:
+		s.mu.Unlock()
+		return e.statusLocked(j), fmt.Errorf("%w: got %d, want %d", ErrChunkOutOfOrder, n, s.accepted)
+	}
+	s.touchLocked()
+	if len(data) > s.capBytes {
+		s.mu.Unlock()
+		return e.statusLocked(j), fmt.Errorf("%w: chunk over ring capacity %d bytes", ErrChunkTooLarge, s.capBytes)
+	}
+	if s.stagedBytes+len(data) > s.capBytes || e.faults.Hit(faults.SiteIngestRingFull) {
+		// The pump is behind the producer: bounded backpressure, not
+		// unbounded buffering. The producer backs off (429 +
+		// Retry-After); its own capture ring absorbing the pause is what
+		// turns a slow consumer into the paper's sequence-gap loss.
+		s.phase = IngestPaused
+		staged := s.stagedBytes
+		s.mu.Unlock()
+		return e.statusLocked(j), fmt.Errorf("%w (ring %d/%d bytes)", ErrIngestPaused, staged, s.capBytes)
+	}
+	s.staged = append(s.staged, ingestChunk{n: n, data: data})
+	s.stagedBytes += len(data)
+	s.accepted++
+	s.phase = IngestStreaming
+	s.wakeLocked()
+	s.mu.Unlock()
+	return e.statusLocked(j), nil
+}
+
+// CloseIngest ends the producer side of a session: the pump drains the
+// staged backlog, seals the final partial window, and the job finishes
+// done. Idempotent — closing a draining or terminal session just
+// returns its status.
+func (e *Engine) CloseIngest(id string) (RunStatus, error) {
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	j, s, err := e.ingestJobLocked(id)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	s.mu.Lock()
+	if !s.phase.Terminal() && !s.closing {
+		s.closing = true
+		s.phase = IngestDraining
+		s.touchLocked()
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
+	return e.statusLocked(j), nil
+}
+
+// IngestWindows snapshots a session's finished windows.
+func (e *Engine) IngestWindows(id string) ([]IngestWindow, error) {
+	e.reg.mu.Lock()
+	_, s, err := e.ingestJobLocked(id)
+	e.reg.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]IngestWindow(nil), s.windows...), nil
+}
+
+// IngestWindowAt returns window i of a session. have reports the
+// window exists; ended reports the session is terminal with no window
+// i coming. With wait set it blocks until one of those (or ctx ends) —
+// the follow mode of the metrics stream.
+func (e *Engine) IngestWindowAt(ctx context.Context, id string, i int, wait bool) (win IngestWindow, have, ended bool, err error) {
+	e.reg.mu.Lock()
+	_, s, err := e.ingestJobLocked(id)
+	e.reg.mu.Unlock()
+	if err != nil {
+		return IngestWindow{}, false, false, err
+	}
+	for {
+		s.mu.Lock()
+		if i < len(s.windows) {
+			win := s.windows[i]
+			s.mu.Unlock()
+			return win, true, false, nil
+		}
+		if s.phase.Terminal() {
+			s.mu.Unlock()
+			return IngestWindow{}, false, true, nil
+		}
+		if !wait {
+			s.mu.Unlock()
+			return IngestWindow{}, false, false, nil
+		}
+		sig := s.windowSig
+		s.mu.Unlock()
+		select {
+		case <-sig:
+		case <-ctx.Done():
+			return IngestWindow{}, false, false, ctx.Err()
+		}
+	}
+}
+
+// ingestPump is a session's single consumer and single finisher: it
+// drains staged chunks through the decoder and pipeline, journals the
+// high-water mark after each chunk, and performs the one terminal
+// transition — done (client closed), expired (idle), cancelled, failed
+// (interrupted by drain, or a panicked pipeline). Every other path —
+// DELETE, idle timer, Shutdown — only sets flags and wakes it, which is
+// what makes "never a zombie" a structural property rather than a
+// convention.
+func (e *Engine) ingestPump(j *Job, s *ingestSession) {
+	defer e.ingestWG.Done()
+	var panicked error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Contain a poisoned pipeline on this goroutine: the
+				// session fails, the daemon lives.
+				panicked = fmt.Errorf("%w: ingest pipeline: %v", ErrRunPanicked, r)
+				e.logf("ingest %s pipeline panicked: %v", j.ID, r)
+			}
+		}()
+		e.ingestPumpLoop(s)
+	}()
+	e.finishIngest(j, s, panicked)
+}
+
+// ingestPumpLoop runs until a terminal cause is flagged (and, for
+// close/drain, the backlog is drained).
+func (e *Engine) ingestPumpLoop(s *ingestSession) {
+	for {
+		s.mu.Lock()
+		if s.cancelled || s.expired || s.ctx.Err() != nil {
+			s.mu.Unlock()
+			return // immediate: discard the backlog
+		}
+		if len(s.staged) == 0 {
+			if s.closing || s.shut {
+				s.mu.Unlock()
+				return // drained: close or interrupt finishes below
+			}
+			wake := s.wake
+			ctx := s.ctx
+			s.mu.Unlock()
+			select {
+			case <-wake:
+			case <-ctx.Done():
+			}
+			continue
+		}
+		c := s.staged[0]
+		s.staged = s.staged[1:]
+		s.stagedBytes -= len(c.data)
+		if s.phase == IngestPaused && s.stagedBytes*2 <= s.capBytes {
+			// Hysteresis: unpause only once half the ring is free, so a
+			// producer retrying at the bound does not flap.
+			s.phase = IngestStreaming
+		}
+		ctx := s.ctx
+		s.mu.Unlock()
+
+		if e.faults.Hit(faults.SiteIngestPumpStall) {
+			// Parked, not sleeping: deterministically slow consumer until
+			// the test opens the gate or the session ends.
+			_ = e.faults.Gate(faults.SiteIngestPumpStall).Wait(ctx) //hopplint:errok a cancelled wait is re-checked at the loop top; the chunk below is only processed when the session is still live
+		}
+
+		s.mu.Lock()
+		if s.cancelled || s.expired || s.ctx.Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		s.dec.Feed(c.data, s.consume)
+		s.processed = c.n + 1
+		s.touchLocked()
+		records := int64(s.dec.Records())
+		s.mu.Unlock()
+
+		j, entry := e.ingestChunkEntry(s, records)
+		if j != nil {
+			e.reg.mu.Lock()
+			e.reg.appendEntryLocked(entry)
+			e.reg.mu.Unlock()
+		}
+	}
+}
+
+// ingestChunkEntry builds the per-chunk journal entry for s's job and
+// updates the progress gauge. It looks the job up through the session
+// backref set at start; a nil return means the journal is detached and
+// nothing needs appending.
+func (e *Engine) ingestChunkEntry(s *ingestSession, records int64) (*Job, JournalEntry) {
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	for _, j := range e.liveIngests {
+		if j.ingest == s {
+			j.progress.Store(records)
+			return j, e.ingestEntryLocked(j, StateRunning, "")
+		}
+	}
+	return nil, JournalEntry{}
+}
+
+// finishIngest performs the session's single terminal transition.
+func (e *Engine) finishIngest(j *Job, s *ingestSession, panicked error) {
+	s.mu.Lock()
+	var state JobState
+	var errMsg string
+	var expired bool
+	switch {
+	case panicked != nil:
+		state, errMsg = StateFailed, panicked.Error()
+		s.phase = IngestFailed
+	case s.cancelled:
+		state, errMsg = StateCancelled, context.Canceled.Error()
+		s.phase = IngestCancelled
+	case s.expired:
+		state, errMsg = StateFailed, ErrIngestExpired.Error()
+		s.phase = IngestExpired
+		expired = true
+	case s.closing:
+		// Drained to the end of the client's stream: seal the final
+		// partial window. A trailing torn record (PartialTail bytes)
+		// stays in the decoder, surfaced in status, never guessed at.
+		s.finishWindowLocked(true)
+		state = StateDone
+		s.phase = IngestDone
+	default: // engine drain interrupted a live session
+		state, errMsg = StateFailed, ErrIngestInterrupted.Error()
+		s.phase = IngestFailed
+		s.finishWindowLocked(true)
+	}
+	if s.idle != nil {
+		s.idle.Stop()
+	}
+	// Wake any followers parked on the window signal regardless of
+	// outcome; a terminal close leaves the channel closed forever.
+	if !s.phaseSignalled() {
+		s.signalWindowsLocked(true)
+	}
+	records := int64(s.dec.Records())
+	loss := s.dec.Lost()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+
+	e.ctr.ingestRecords.Add(uint64(records))
+	e.ctr.ingestLossRecords.Add(loss)
+	if expired {
+		e.ctr.ingestSessionsExpired.Add(1)
+	}
+
+	e.reg.mu.Lock()
+	j.progress.Store(records)
+	j.State = state
+	j.errMsg = errMsg
+	j.wallNS = time.Since(j.started).Nanoseconds()
+	kc := e.ctr.kind(KindIngest)
+	switch state {
+	case StateDone:
+		kc.completed.Add(1)
+	case StateCancelled:
+		kc.cancelled.Add(1)
+	default:
+		kc.failed.Add(1)
+	}
+	e.finishLocked(j, time.Now())
+	e.reg.mu.Unlock()
+}
+
+// phaseSignalled reports whether the terminal window signal was already
+// sent; s.mu must be held. finishWindowLocked(true) closes the channel
+// without recreating it, so a second close would panic — this guards
+// the paths that did not seal a final window.
+func (s *ingestSession) phaseSignalled() bool {
+	select {
+	case <-s.windowSig:
+		return true
+	default:
+		return false
+	}
+}
+
+// siteReader fails reads on demand at a named fault site — the
+// engine-level twin of the HTTP layer's faultReader, used for the
+// ingest chunk-read site.
+type siteReader struct {
+	r    io.Reader
+	inj  *faults.Injector
+	site string
+}
+
+func (sr *siteReader) Read(p []byte) (int, error) {
+	if err := sr.inj.ErrAt(sr.site); err != nil {
+		return 0, err
+	}
+	return sr.r.Read(p)
+}
+
+// removeLiveIngestLocked drops a finished ingest job from the live
+// list; reg.mu must be held.
+func (e *Engine) removeLiveIngestLocked(j *Job) {
+	for i, live := range e.liveIngests {
+		if live == j {
+			e.liveIngests = append(e.liveIngests[:i], e.liveIngests[i+1:]...)
+			return
+		}
+	}
+}

@@ -60,6 +60,14 @@ type JournalEntry struct {
 	// as failed instead of losing it, and once at the terminal
 	// transition with the frozen aggregate counts.
 	Sweep *SweepStatus `json:"sweep,omitempty"`
+	// Ingest carries an ingest session's resumable snapshot. Ingest
+	// sessions journal many times: once at open (non-terminal), once per
+	// processed chunk (the crash-safe high-water mark, with the windows
+	// finished since the previous entry and the exact decoder state), and
+	// once at the terminal transition. Replay merges the entries by ID,
+	// so a crash mid-stream restores the session resumable at its last
+	// journaled chunk — never a zombie.
+	Ingest *IngestJournal `json:"ingest,omitempty"`
 }
 
 // journalEntry snapshots a terminal job for the journal; the caller
@@ -91,6 +99,13 @@ func journalEntry(j *Job) JournalEntry {
 		e.Progress = j.progress.Load()
 		e.Seed = j.Exp.Seed
 		e.Quick = j.Exp.Quick
+	case j.ingest != nil:
+		e.Workload = j.ingest.req.Workload
+		e.System = j.ingest.req.System
+		e.Frac = j.ingest.req.Frac
+		e.Seed = j.ingest.req.Seed
+		e.Progress = j.progress.Load()
+		e.Ingest = j.ingest.journalSnapshot()
 	case j.sweep != nil:
 		e.Quick = j.sweep.req.Quick
 		e.Progress = j.progress.Load()

@@ -42,6 +42,15 @@ type counters struct {
 	sweepPointsCompleted atomic.Uint64
 	sweepPointsFailed    atomic.Uint64
 	sweepStreamsBuilt    atomic.Uint64
+
+	// Ingest accounting. Records/loss accumulate at session finish (the
+	// live gauges ride on each session's status); retries count duplicate
+	// chunk uploads re-acked without reprocessing; expirations count
+	// sessions the idle deadline reaped.
+	ingestRecords         atomic.Uint64
+	ingestLossRecords     atomic.Uint64
+	ingestChunksRetried   atomic.Uint64
+	ingestSessionsExpired atomic.Uint64
 }
 
 func newCounters() *counters {
@@ -145,6 +154,17 @@ type MetricsSnapshot struct {
 	SweepStreamsBuilt    uint64 `json:"sweep_streams_built"`
 	MaxSweepPoints       int    `json:"max_sweep_points"`
 
+	// Ingest gauges: live sessions against the -max-ingests bound, total
+	// records decoded (and the subset lost to HMTT capture gaps) by
+	// finished sessions, duplicate chunks re-acked to retrying clients,
+	// and sessions reaped by -ingest-idle-timeout.
+	IngestSessionsActive  int    `json:"ingest_sessions_active"`
+	MaxIngests            int    `json:"max_ingests"`
+	IngestRecords         uint64 `json:"ingest_records"`
+	IngestLossRecords     uint64 `json:"ingest_loss_records"`
+	IngestChunksRetried   uint64 `json:"ingest_chunks_retried"`
+	IngestSessionsExpired uint64 `json:"ingest_sessions_expired"`
+
 	// CatalogWorkloads/CatalogSystems size the request space servable by
 	// this build — useful when fleet rollouts mix catalog versions.
 	CatalogWorkloads int `json:"catalog_workloads"`
@@ -174,15 +194,19 @@ func (c *counters) snapshot() MetricsSnapshot {
 		}
 	}
 	return MetricsSnapshot{
-		Jobs:                 jobs,
-		CacheHits:            c.cacheHits.Load(),
-		CacheMisses:          c.cacheMisses.Load(),
-		RunWallNS:            c.runWallNS.Load(),
-		RunSimulatedNS:       c.runSimulatedNS.Load(),
-		SweepPointsTotal:     c.sweepPointsTotal.Load(),
-		SweepPointsCached:    c.sweepPointsCached.Load(),
-		SweepPointsCompleted: c.sweepPointsCompleted.Load(),
-		SweepPointsFailed:    c.sweepPointsFailed.Load(),
-		SweepStreamsBuilt:    c.sweepStreamsBuilt.Load(),
+		Jobs:                  jobs,
+		CacheHits:             c.cacheHits.Load(),
+		CacheMisses:           c.cacheMisses.Load(),
+		RunWallNS:             c.runWallNS.Load(),
+		RunSimulatedNS:        c.runSimulatedNS.Load(),
+		SweepPointsTotal:      c.sweepPointsTotal.Load(),
+		SweepPointsCached:     c.sweepPointsCached.Load(),
+		SweepPointsCompleted:  c.sweepPointsCompleted.Load(),
+		SweepPointsFailed:     c.sweepPointsFailed.Load(),
+		SweepStreamsBuilt:     c.sweepStreamsBuilt.Load(),
+		IngestRecords:         c.ingestRecords.Load(),
+		IngestLossRecords:     c.ingestLossRecords.Load(),
+		IngestChunksRetried:   c.ingestChunksRetried.Load(),
+		IngestSessionsExpired: c.ingestSessionsExpired.Load(),
 	}
 }

@@ -16,18 +16,21 @@ import (
 type JobKind string
 
 // The job kinds: workload × system simulations, experiment
-// (table/figure) regenerations, and sweeps — grid submissions whose
-// parent job fans out into sim children and aggregates their states.
+// (table/figure) regenerations, sweeps — grid submissions whose parent
+// job fans out into sim children and aggregates their states — and
+// ingests: client-streamed HMTT traces flowing through the live
+// HPD→prefetcher pipeline.
 const (
 	KindSim        JobKind = "sim"
 	KindExperiment JobKind = "experiment"
 	KindSweep      JobKind = "sweep"
+	KindIngest     JobKind = "ingest"
 )
 
 // jobKinds lists every kind in fixed order, so anything iterating kinds
 // (metrics snapshots, journal summaries) stays deterministic without
 // ranging over a map.
-var jobKinds = []JobKind{KindSim, KindExperiment, KindSweep}
+var jobKinds = []JobKind{KindSim, KindExperiment, KindSweep, KindIngest}
 
 // JobState is a job's lifecycle position.
 type JobState string
@@ -99,6 +102,11 @@ type Job struct {
 	leader    *Job
 	followers []*Job
 	inPool    bool
+
+	// ingest is the live session state of a KindIngest job. Ingest jobs
+	// never hold a pool worker: their pump goroutine is owned by the
+	// session and tracked by the engine's ingestWG.
+	ingest *ingestSession
 }
 
 // registry is the bounded window of recent jobs: every admitted job of
@@ -228,12 +236,24 @@ func (g *registry) journalLocked(j *Job) {
 	if g.journal == nil {
 		return
 	}
-	if err := g.journal.Append(journalEntry(j)); err != nil {
+	g.appendEntryLocked(journalEntry(j))
+}
+
+// appendEntryLocked appends one prebuilt entry to the journal with the
+// same best-effort error accounting as journalLocked. It exists for the
+// callers that journal more than a terminal snapshot — sweep parents at
+// submission, ingest sessions at open and at every chunk high-water
+// mark; reg.mu must be held.
+func (g *registry) appendEntryLocked(e JournalEntry) {
+	if g.journal == nil {
+		return
+	}
+	if err := g.journal.Append(e); err != nil {
 		g.jerrors.Add(1)
 		g.jdegraded.Store(true)
 		if !g.jerrBurst {
 			g.jerrBurst = true
-			g.logf("journal append failed for job %s: %v (suppressing repeats until a write succeeds)", j.ID, err)
+			g.logf("journal append failed for job %s: %v (suppressing repeats until a write succeeds)", e.ID, err)
 		}
 		return
 	}
@@ -241,7 +261,7 @@ func (g *registry) journalLocked(j *Job) {
 	g.jdegraded.Store(false)
 	if g.jerrBurst {
 		g.jerrBurst = false
-		g.logf("journal append recovered at job %s", j.ID)
+		g.logf("journal append recovered at job %s", e.ID)
 	}
 }
 

@@ -45,6 +45,11 @@ func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
 	// for rendered experiment tables, not just sim metrics.
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	now := time.Now()
+	// Ingest sessions journal many entries per ID (open, per-chunk
+	// high-water mark, terminal); they merge here and resume after the
+	// scan, in first-seen order.
+	ingests := make(map[string]*Job)
+	var ingestOrder []string
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -53,6 +58,14 @@ func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
 		var entry JournalEntry
 		if err := json.Unmarshal(line, &entry); err != nil {
 			stats.Malformed++
+			continue
+		}
+		if entry.Kind == KindIngest {
+			if e.replayIngestEntry(entry, ingests, &ingestOrder) {
+				stats.Recovered++
+			} else {
+				stats.Skipped++
+			}
 			continue
 		}
 		j, ok := e.jobFromEntry(entry)
@@ -69,6 +82,7 @@ func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
 		e.reg.mu.Unlock()
 		stats.Recovered++
 	}
+	e.resumeReplayedIngests(ingests, ingestOrder)
 	// Trim the restored window to the retention bounds in one pass, with
 	// the journal detached: these jobs are already on disk, re-appending
 	// them would duplicate the trail.
@@ -76,6 +90,138 @@ func (e *Engine) ReplayJournal(r io.Reader) (ReplayStats, error) {
 	e.reg.evictLocked(now)
 	e.reg.mu.Unlock()
 	return stats, sc.Err()
+}
+
+// replayIngestEntry merges one ingest journal line into its session,
+// creating the session skeleton on the ID's first line. Non-terminal
+// lines advance the durable chunk high-water mark, decoder state, and
+// finished windows; a terminal line freezes the job in its final state.
+// Reports whether the line was usable.
+func (e *Engine) replayIngestEntry(entry JournalEntry, ingests map[string]*Job, order *[]string) bool {
+	ij := entry.Ingest
+	if ij == nil {
+		return false
+	}
+	if _, ok := jobIDNum(entry.ID); !ok {
+		return false
+	}
+	j, known := ingests[entry.ID]
+	if !known {
+		req, err := IngestRequest{
+			Workload:      entry.Workload,
+			System:        entry.System,
+			Frac:          entry.Frac,
+			Seed:          entry.Seed,
+			WindowRecords: ij.WindowRecords,
+		}.Normalize()
+		if err != nil {
+			return false // catalog drift: the pipeline can't be rebuilt
+		}
+		s := newIngestSession(req, e.ingestRingBytes)
+		s.resumed = true
+		j = &Job{
+			ID:        entry.ID,
+			Kind:      KindIngest,
+			State:     StateRunning,
+			ingest:    s,
+			submitted: time.Unix(0, entry.SubmittedUnixNS),
+			started:   time.Unix(0, entry.SubmittedUnixNS),
+			done:      make(chan struct{}),
+		}
+		ingests[entry.ID] = j
+		*order = append(*order, entry.ID)
+		e.reg.mu.Lock()
+		// Manual restore: restoreLocked files IDs in the terminal eviction
+		// list, which a possibly-resuming session must stay out of.
+		if n, ok := jobIDNum(j.ID); ok && n > e.reg.nextID {
+			e.reg.nextID = n
+		}
+		if _, exists := e.reg.jobs[j.ID]; !exists {
+			e.reg.order = append(e.reg.order, j.ID)
+		}
+		e.reg.jobs[j.ID] = j
+		e.replayed++ // the journal_replayed gauge counts sessions, not lines
+		e.reg.mu.Unlock()
+	}
+	wasTerminal := j.State.Terminal()
+	s := j.ingest
+	s.mu.Lock()
+	if ij.Decoder != nil {
+		s.dec.Restore(*ij.Decoder)
+	}
+	s.clock = ij.ClockTicks
+	// Everything the crash left acked-but-unpumped is gone; the durable
+	// high-water mark is what the client rewinds to.
+	s.accepted = ij.ChunksAcked
+	s.processed = ij.ChunksAcked
+	s.retried = ij.ChunksRetried
+	s.reads, s.writes = ij.Reads, ij.Writes
+	s.hotPages, s.prefetches, s.prefetchHits = ij.HotPages, ij.Prefetches, ij.PrefetchHits
+	for _, w := range ij.Windows {
+		if w.Index == len(s.windows) { // idempotent under re-read lines
+			s.windows = append(s.windows, w)
+		}
+	}
+	s.journaledW = len(s.windows)
+	if ij.Partial != nil {
+		s.cur = *ij.Partial
+	} else {
+		next := IngestWindow{Index: len(s.windows)}
+		if n := len(s.windows); n > 0 {
+			next.StartNS = s.windows[n-1].EndNS
+		}
+		s.cur = next
+	}
+	if ij.Phase.Terminal() {
+		s.phase = ij.Phase
+		if !s.phaseSignalled() {
+			s.signalWindowsLocked(true)
+		}
+	} else {
+		// Resumable sessions come back paused: the pump is idle and the
+		// client must re-sync to the durable high-water mark before
+		// streaming resumes.
+		s.phase = IngestPaused
+	}
+	s.mu.Unlock()
+	j.progress.Store(int64(ij.Records))
+	if entry.State.Terminal() && !wasTerminal {
+		e.reg.mu.Lock()
+		j.State = entry.State
+		j.errMsg = entry.Error
+		j.wallNS = entry.WallNS
+		j.finished = time.Unix(0, entry.FinishedUnixNS)
+		if entry.FinishedUnixNS == 0 {
+			j.finished = j.submitted
+		}
+		if !j.doneClosed {
+			j.doneClosed = true
+			close(j.done)
+		}
+		e.reg.term = append(e.reg.term, j.ID)
+		e.reg.mu.Unlock()
+	}
+	return true
+}
+
+// resumeReplayedIngests restarts every replayed session that never
+// reached a terminal entry — the streams the crash interrupted. Each
+// comes back paused and resumable: same ID, durable chunk high-water
+// mark, exact decoder state, a fresh pump, and a fresh idle deadline,
+// so a client that reappears continues and one that doesn't expires the
+// session — never a zombie. Iteration follows first-seen journal order,
+// not map order.
+func (e *Engine) resumeReplayedIngests(ingests map[string]*Job, order []string) {
+	e.reg.mu.Lock()
+	defer e.reg.mu.Unlock()
+	for _, id := range order {
+		j := ingests[id]
+		if j.State.Terminal() {
+			continue
+		}
+		e.liveIngests = append(e.liveIngests, j)
+		e.startIngestLocked(j, j.ingest)
+	}
 }
 
 // ReplayJournalFile replays a journal file from disk. A missing file is

@@ -50,8 +50,10 @@ fi
 # streams, in-flight dedupe, mid-sweep replay, stalled NDJSON clients) —
 # the heaviest cross-goroutine surface in the repo. internal/prefetch
 # rides along because its schemes run inside pool workers and its
-# registry is read from every normalization path.
-echo "== go test -race (service + faults + sim + workload + prefetch, quick mode)"
-go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/... ./internal/prefetch/...
+# registry is read from every normalization path. internal/hmtt rides
+# along because its streaming decoder is fed from ingest pump
+# goroutines and its state snapshots cross the journal-replay boundary.
+echo "== go test -race (service + faults + sim + workload + prefetch + hmtt, quick mode)"
+go test -race -count=1 ./internal/service/... ./internal/faults/... ./internal/sim/... ./internal/workload/... ./internal/prefetch/... ./internal/hmtt/...
 
 echo "check.sh: OK"
